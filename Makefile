@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-tables:
+	dune exec bench/main.exe -- --no-micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/graybox_design.exe
+	dune exec examples/fault_injection.exe
+	dune exec examples/bytecode_demo.exe
+	dune exec examples/bidding_demo.exe
+	dune exec examples/kstate_derivation.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

@@ -1,0 +1,106 @@
+(* Benchmark and experiment harness.
+
+   Regenerates every experiment table of DESIGN.md/EXPERIMENTS.md (the
+   paper has no quantitative tables; its evaluation artifacts are theorems,
+   lemmas and figures — each becomes a verdict table here), then runs
+   Bechamel micro-benchmarks of the checker itself, one Test.make per
+   table.
+
+   Run with:  dune exec bench/main.exe
+   (pass --no-micro to skip the Bechamel timing runs) *)
+
+(* ---------- Bechamel micro-benchmarks ---------- *)
+
+let pf = Format.printf
+
+let hr title = pf "@.======== %s ========@." title
+
+
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  let n = 3 in
+  let btr = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n) in
+  let c1_prog = Cr_tokenring.Btr4.c1 n in
+  let c1 = Cr_guarded.Program.to_explicit c1_prog in
+  let alpha4 = Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr4.alpha n) c1 btr in
+  let d3 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 n) in
+  let alpha3 = Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr3.alpha n) d3 btr in
+  let d3_prog = Cr_tokenring.Btr3.dijkstra3 n in
+  let daemon_seed = ref 0 in
+  [
+    (* one Test.make per experiment table *)
+    Test.make ~name:"E1-fig1-verdicts"
+      (Staged.stage (fun () -> ignore (Cr_experiments.Fig_exps.run ())));
+    Test.make ~name:"E4-compile-btr-explicit"
+      (Staged.stage (fun () ->
+           ignore (Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n))));
+    Test.make ~name:"E5-lemma7-convergence-check"
+      (Staged.stage (fun () ->
+           ignore
+             (Cr_core.Refine.convergence_refinement ~alpha:alpha4 ~c:c1 ~a:btr ())));
+    Test.make ~name:"E6-thm8-stabilization-check"
+      (Staged.stage (fun () ->
+           ignore (Cr_core.Stabilize.stabilizing_to ~alpha:alpha4 ~c:c1 ~a:btr ())));
+    Test.make ~name:"E8-thm11-stabilization-check"
+      (Staged.stage (fun () ->
+           ignore (Cr_core.Stabilize.stabilizing_to ~alpha:alpha3 ~c:d3 ~a:btr ())));
+    Test.make ~name:"E14-recovery-episode"
+      (Staged.stage (fun () ->
+           incr daemon_seed;
+           let d = Cr_sim.Daemon.random ~seed:!daemon_seed in
+           let rng = Random.State.make [| !daemon_seed |] in
+           let s0 =
+             Cr_fault.Injector.randomize ~rng (Cr_guarded.Program.layout d3_prog)
+           in
+           ignore
+             (Cr_sim.Runner.steps_to
+                ~converged:(Cr_tokenring.Btr3.one_token n)
+                d d3_prog ~start:s0 ~max_steps:10_000)));
+    Test.make ~name:"E2-vm-step"
+      (Staged.stage
+         (let cfg = Cr_vm.Source.machine_config in
+          let s0 = Cr_vm.Machine.initial_state cfg in
+          fun () -> ignore (Cr_vm.Machine.step cfg s0)));
+    Test.make ~name:"E3-bidding-bid"
+      (Staged.stage
+         (let s = Cr_bidding.Spec.of_list ~k:8 [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+          fun () -> ignore (Cr_bidding.Spec.bid 5 s)));
+  ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  hr "Checker micro-benchmarks (Bechamel, monotonic clock)";
+  pf "%-32s %-16s %s@." "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> Fmt.str "%.1f" e
+            | _ -> "-"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Fmt.str "%.4f" r
+            | None -> "-"
+          in
+          pf "%-32s %-16s %s@." name est r2)
+        analysis)
+    tests
+
+let () =
+  let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
+  Cr_experiments.Report.all ~ns:[ 2; 3; 4; 5 ] ();
+  if not skip_micro then run_micro ();
+  pf "@.done.@."

@@ -1,0 +1,309 @@
+(* crcheck — command-line driver for the convergence-refinement library.
+
+     crcheck list                        enumerate the bundled systems
+     crcheck verify SYSTEM [-n N]        model-check stabilization
+     crcheck refine CONCRETE [-n N]      check [CONCRETE ⪯ its spec]
+     crcheck trace SYSTEM [-n N] ...     inject faults and print recovery
+     crcheck kstate [-n N] [-k K]        K-state threshold exploration
+*)
+
+open Cmdliner
+
+let pf = Format.printf
+
+let n_arg =
+  let doc = "Ring size: processes are 0..N (N >= 1)." in
+  Arg.(value & opt int 3 & info [ "n"; "ring" ] ~docv:"N" ~doc)
+
+let system_arg =
+  let doc = "System name; see $(b,crcheck list)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
+
+let with_entry name f =
+  match Cr_experiments.Registry.find name with
+  | None ->
+      pf "unknown system %S; try: %s@." name
+        (String.concat ", " (Cr_experiments.Registry.names ()));
+      1
+  | Some e -> f e
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        match Cr_experiments.Registry.find name with
+        | Some e ->
+            pf "%-12s %s@." e.Cr_experiments.Registry.name
+              e.Cr_experiments.Registry.describe
+        | None -> ())
+      (Cr_experiments.Registry.names ());
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Enumerate the bundled systems")
+    Term.(const run $ const ())
+
+(* ---- verify ---- *)
+
+let verify name n =
+  with_entry name (fun e ->
+      let p = e.Cr_experiments.Registry.program n in
+      let ep = Cr_guarded.Program.to_explicit p in
+      let spec =
+        Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.spec n)
+      in
+      let alpha =
+        Cr_semantics.Abstraction.tabulate
+          (e.Cr_experiments.Registry.alpha n)
+          ep spec
+      in
+      let r = Cr_core.Stabilize.stabilizing_to ~alpha ~c:ep ~a:spec () in
+      pf "%a@." Cr_core.Stabilize.pp_report r;
+      (match r.Cr_core.Stabilize.bad_cycle with
+      | Some cyc ->
+          pf "witness divergence:@.";
+          List.iter
+            (fun i -> pf "  %s@." (Cr_semantics.Explicit.state_to_string ep i))
+            cyc
+      | None -> ());
+      (match r.Cr_core.Stabilize.bad_terminal with
+      | Some t ->
+          pf "witness deadlock: %s@."
+            (Cr_semantics.Explicit.state_to_string ep t)
+      | None -> ());
+      (* also report the weakly-fair verdict when the strict one fails *)
+      if not r.Cr_core.Stabilize.holds then begin
+        let fair = Cr_sim.Glue.fair_tables p ep in
+        let rf = Cr_core.Stabilize.stabilizing_to ~alpha ~fair ~c:ep ~a:spec () in
+        pf "under a weakly fair daemon: %s@."
+          (if rf.Cr_core.Stabilize.holds then "stabilizing" else "still not stabilizing")
+      end;
+      if r.Cr_core.Stabilize.holds then 0 else 1)
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Model-check that SYSTEM is stabilizing to its specification")
+    Term.(const verify $ system_arg $ n_arg)
+
+(* ---- refine ---- *)
+
+let refine name n =
+  with_entry name (fun e ->
+      let ep = Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.program n) in
+      let spec =
+        Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.spec n)
+      in
+      let alpha =
+        Cr_semantics.Abstraction.tabulate
+          (e.Cr_experiments.Registry.alpha n)
+          ep spec
+      in
+      List.iter
+        (fun (label, report) ->
+          pf "%-14s %a@." label Cr_core.Refine.pp_report report)
+        [
+          ("init", Cr_core.Refine.init_refinement ~alpha ~c:ep ~a:spec ());
+          ("everywhere", Cr_core.Refine.everywhere_refinement ~alpha ~c:ep ~a:spec ());
+          ("convergence", Cr_core.Refine.convergence_refinement ~alpha ~c:ep ~a:spec ());
+          ( "ee",
+            Cr_core.Refine.everywhere_eventually_refinement ~alpha ~c:ep ~a:spec () );
+        ];
+      let conv = Cr_core.Refine.convergence_refinement ~alpha ~c:ep ~a:spec () in
+      let reach = Cr_checker.Reach.reachable_from_initial ep in
+      List.iter
+        (fun f ->
+          let anchor = Cr_core.Refine.failure_state f in
+          pf "  %a  [%s]@." (Cr_core.Refine.pp_failure ep spec) f
+            (if reach.(anchor) then "reachable fault-free"
+             else "requires a fault to reach"))
+        conv.Cr_core.Refine.failures;
+      if conv.Cr_core.Refine.holds then 0 else 1)
+
+let refine_cmd =
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Check the refinement relations between SYSTEM and its \
+          specification (init / everywhere / convergence / \
+          everywhere-eventually)")
+    Term.(const refine $ system_arg $ n_arg)
+
+(* ---- trace ---- *)
+
+let faults_arg =
+  Arg.(value & opt int 2 & info [ "faults" ] ~docv:"K" ~doc:"Faults to inject.")
+
+let steps_arg =
+  Arg.(value & opt int 20 & info [ "steps" ] ~docv:"M" ~doc:"Steps to run.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+
+let daemon_arg =
+  let daemons = [ ("random", `Random); ("round-robin", `RoundRobin) ] in
+  Arg.(
+    value
+    & opt (enum daemons) `Random
+    & info [ "daemon" ] ~docv:"DAEMON" ~doc:"Scheduler: random or round-robin.")
+
+let trace name n faults steps seed daemon =
+  with_entry name (fun e ->
+      let p = e.Cr_experiments.Registry.program n in
+      let layout = Cr_guarded.Program.layout p in
+      let rng = Random.State.make [| seed |] in
+      (* find a canonical legitimate state to corrupt: any converged state *)
+      let start0 =
+        List.find_opt
+          (e.Cr_experiments.Registry.converged n)
+          (Cr_guarded.Layout.enumerate layout)
+      in
+      match start0 with
+      | None ->
+          pf "no legitimate state found@.";
+          1
+      | Some s ->
+          let s0 = Cr_fault.Injector.corrupt_k ~rng layout s ~k:faults in
+          let d =
+            match daemon with
+            | `Random -> Cr_sim.Daemon.random ~seed
+            | `RoundRobin -> Cr_sim.Daemon.round_robin ()
+          in
+          let render = e.Cr_experiments.Registry.render n in
+          pf "legitimate start  %s@." (render s);
+          pf "after %d fault(s) %s@." faults (render s0);
+          let t = Cr_sim.Runner.run d p ~start:s0 ~max_steps:steps in
+          List.iteri
+            (fun i entry ->
+              pf "%3d %-10s %s%s@." (i + 1) entry.Cr_sim.Runner.action
+                (render entry.Cr_sim.Runner.state)
+                (if e.Cr_experiments.Registry.converged n entry.Cr_sim.Runner.state
+                 then "   [converged]"
+                 else ""))
+            t.Cr_sim.Runner.steps;
+          ignore layout;
+          0)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Corrupt a legitimate state and print the recovery trace")
+    Term.(const trace $ system_arg $ n_arg $ faults_arg $ steps_arg $ seed_arg $ daemon_arg)
+
+(* ---- kstate ---- *)
+
+let kstate n =
+  pf "ring 0..%d (%d processes)@." n (n + 1);
+  let mk = Cr_experiments.Ring_exps.kstate_minimal_k n in
+  pf "minimal stabilizing K: %d@." mk;
+  for k = 2 to n + 2 do
+    let r = Cr_experiments.Ring_exps.kstate_stabilizes ~n ~k in
+    pf "  K=%d: %s%s@." k
+      (if r.Cr_core.Stabilize.holds then "stabilizing" else "NOT stabilizing")
+      (match r.Cr_core.Stabilize.worst_case_recovery with
+      | Some w when r.Cr_core.Stabilize.holds ->
+          Printf.sprintf " (worst-case recovery %d)" w
+      | _ -> "")
+  done;
+  0
+
+let kstate_cmd =
+  Cmd.v
+    (Cmd.info "kstate" ~doc:"Explore the K-state stabilization threshold")
+    Term.(const kstate $ n_arg)
+
+(* ---- dot export ---- *)
+
+let dot name n output =
+  with_entry name (fun e ->
+      let ep = Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.program n) in
+      let spec =
+        Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.spec n)
+      in
+      let alpha =
+        Cr_semantics.Abstraction.tabulate
+          (e.Cr_experiments.Registry.alpha n)
+          ep spec
+      in
+      let r = Cr_core.Stabilize.stabilizing_to ~alpha ~c:ep ~a:spec () in
+      let good = r.Cr_core.Stabilize.good_mask in
+      let highlight i = if good.(i) then Some "palegreen" else None in
+      let dot_text = Cr_semantics.Dot.to_string ~highlight ep in
+      (match output with
+      | None -> print_string dot_text
+      | Some path ->
+          let oc = open_out path in
+          output_string oc dot_text;
+          close_out oc;
+          pf "wrote %s (%d states; converged region in green)@." path
+            (Cr_semantics.Explicit.num_states ep));
+      0)
+
+let dot_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Export the system's transition graph as Graphviz DOT, with the              converged region highlighted")
+    Term.(const dot $ system_arg $ n_arg $ output)
+
+(* ---- spans ---- *)
+
+let spans name n =
+  with_entry name (fun e ->
+      let p = e.Cr_experiments.Registry.program n in
+      let spec =
+        Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.spec n)
+      in
+      match
+        Cr_fault.Spans.analyze p ~spec
+          ~abstraction:(e.Cr_experiments.Registry.alpha n)
+      with
+      | rows ->
+          pf "%-4s %-10s %-16s %s@." "k" "span" "worst-recovery"
+            "E[recovery] worst";
+          List.iter
+            (fun (r : Cr_fault.Spans.row) ->
+              pf "%-4d %-10d %-16d %.2f@." r.Cr_fault.Spans.k
+                r.Cr_fault.Spans.span r.Cr_fault.Spans.worst_recovery
+                r.Cr_fault.Spans.expected_recovery)
+            rows;
+          0
+      | exception Invalid_argument msg ->
+          pf "%s@." msg;
+          1)
+
+let spans_cmd =
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:"Fault-span analysis: recovery cost vs number of faults")
+    Term.(const spans $ system_arg $ n_arg)
+
+(* ---- experiments ---- *)
+
+let experiments_cmd =
+  let max_n =
+    Arg.(
+      value & opt int 3
+      & info [ "max-n" ] ~docv:"N" ~doc:"Largest ring size in the sweeps.")
+  in
+  let run max_n =
+    Cr_experiments.Report.all ~ns:(List.init (max_n - 1) (fun i -> i + 2)) ();
+    0
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate every experiment table (same output as bench/main.exe)")
+    Term.(const run $ max_n)
+
+let main =
+  let doc = "model checking and refinement checking for Convergence Refinement" in
+  let info = Cmd.info "crcheck" ~version:"1.0.0" ~doc in
+  Cmd.group info [ list_cmd; verify_cmd; refine_cmd; trace_cmd; kstate_cmd; spans_cmd; dot_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,26 @@
+let () =
+  (* E16 synchronous *)
+  List.iter (fun n ->
+    let v3 = Cr_experiments.Ext_exps.sync_dijkstra3 n in
+    let v4 = Cr_experiments.Ext_exps.sync_dijkstra4 n in
+    let vk = Cr_experiments.Ext_exps.sync_kstate n in
+    Format.printf "sync n=%d: d3=%b d4=%b kstate=%b@." n
+      v3.Cr_experiments.Ext_exps.stabilizes v4.Cr_experiments.Ext_exps.stabilizes
+      vk.Cr_experiments.Ext_exps.stabilizes;
+    (match v3.Cr_experiments.Ext_exps.witness_cycle with
+     | Some (s :: _) -> Format.printf "  d3 witness cycle head: %a@."
+         (Cr_guarded.Layout.pp_state (Cr_tokenring.Btr3.layout n)) s
+     | _ -> ())) [2;3;4];
+  (* E17 rw *)
+  let v = Cr_experiments.Ext_exps.rw_experiment 2 in
+  Format.printf "rw n=2: states=%d unfair=%b fair=%b init-refines=%b orbit-1token=%b@."
+    v.Cr_experiments.Ext_exps.states v.Cr_experiments.Ext_exps.stabilizes_unfair
+    v.Cr_experiments.Ext_exps.stabilizes_fair
+    v.Cr_experiments.Ext_exps.init_refines_dijkstra3
+    v.Cr_experiments.Ext_exps.fault_free_coherent_tokens;
+  (* E18 hitting *)
+  List.iter (fun n ->
+    let h = Cr_experiments.Ext_exps.hitting_dijkstra3 n in
+    Format.printf "hitting d3 n=%d: worst=%d E-worst=%.2f E-mean=%.2f@." n
+      h.Cr_experiments.Ext_exps.worst_exact h.Cr_experiments.Ext_exps.expected_worst
+      h.Cr_experiments.Ext_exps.expected_mean) [2;3;4]

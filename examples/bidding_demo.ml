@@ -1,0 +1,67 @@
+(* The paper's bidding-server example, end to end.
+
+   Run with:  dune exec examples/bidding_demo.exe
+
+   The specification (multiset of best-k bids) tolerates one corrupted
+   stored bid; the sorted-list implementation does not (a head corrupted
+   to MAX blocks all bids); a graybox wrapper designed against the spec
+   alone repairs it. *)
+
+let pf = Format.printf
+
+let show name l = pf "%-24s [%s]@." name (String.concat "; " (List.map string_of_int l))
+
+let () =
+  pf "=== Refinement does not preserve fault-tolerance (intro example 2) ===@.@.";
+  let bids = [ 12; 4; 93; 41; 7; 88; 56 ] in
+  pf "bidding period: %s, keep best k = 3@.@."
+    (String.concat ", " (List.map string_of_int bids));
+
+  (* fault-free: spec and implementation agree *)
+  let spec = Cr_bidding.Spec.run (Cr_bidding.Spec.create ~k:3) bids in
+  let impl = Cr_bidding.Sorted_impl.run (Cr_bidding.Sorted_impl.create ~k:3) bids in
+  show "spec winners:" (Cr_bidding.Spec.winners spec);
+  show "impl winners:" (Cr_bidding.Sorted_impl.winners impl);
+  pf "@.";
+
+  (* now corrupt the head (the believed minimum) to MAX halfway through *)
+  let first_half = [ 12; 4; 93 ] and second_half = [ 41; 7; 88; 56 ] in
+  let max_bid = 1_000_000 in
+  pf "fault after bid 93: head of the stored list corrupted to %d@.@." max_bid;
+
+  let spec_mid = Cr_bidding.Spec.run (Cr_bidding.Spec.create ~k:3) first_half in
+  let spec_corrupt = Cr_bidding.Spec.corrupt ~index:0 ~value:max_bid spec_mid in
+  let spec_final = Cr_bidding.Spec.run spec_corrupt second_half in
+  show "spec after fault:" (Cr_bidding.Spec.winners spec_final);
+  pf "  -> still serves %d of the best 3 genuine bids@.@."
+    (List.length
+       (List.filter (fun v -> List.mem v [ 93; 88; 56 ])
+          (Cr_bidding.Spec.winners spec_final)));
+
+  let impl_mid =
+    Cr_bidding.Sorted_impl.run (Cr_bidding.Sorted_impl.create ~k:3) first_half
+  in
+  let impl_corrupt = Cr_bidding.Sorted_impl.corrupt ~index:0 ~value:max_bid impl_mid in
+  let impl_final = Cr_bidding.Sorted_impl.run impl_corrupt second_half in
+  show "impl after fault:" (Cr_bidding.Sorted_impl.winners impl_final);
+  pf "  -> the corrupted head blocks every later bid: 88 and 56 are lost@.@.";
+
+  (* graybox repair: the wrapper only knows the spec's state is a multiset *)
+  let wrapped_final = Cr_bidding.Wrapper.run impl_corrupt second_half in
+  show "wrapped impl:" (Cr_bidding.Wrapper.winners wrapped_final);
+  pf "  -> the spec-level repair wrapper restores (k-1)-of-best-k service@.@.";
+
+  (* formal verdicts on the finite automaton views *)
+  let v = Cr_experiments.Intro_exps.bidding_experiment () in
+  pf "model-checked verdicts (bids over 0..3, k = 2):@.";
+  pf "  fault-free [impl ⊑ spec]_init          : %b@."
+    v.Cr_experiments.Intro_exps.impl_refines_init;
+  pf "  [impl ⪯ spec] (convergence refinement) : %b@."
+    v.Cr_experiments.Intro_exps.impl_convergence;
+  (match v.Cr_experiments.Intro_exps.impl_blocked_terminal with
+  | Some s ->
+      pf "  witness: corrupted state [%s] accepts no further bid@."
+        (String.concat ";" (List.map string_of_int s))
+  | None -> ());
+  pf "  [wrapped ⪯ spec]                        : %b@."
+    v.Cr_experiments.Intro_exps.wrapped_convergence

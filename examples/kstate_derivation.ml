@@ -1,0 +1,82 @@
+(* The K-state derivation (the paper's full-version appendix,
+   reconstructed), end to end.
+
+   Run with:  dune exec examples/kstate_derivation.exe
+
+   Starting point: the abstract unidirectional token ring UTR (a token
+   circulates 0 -> 1 -> ... -> N -> 0).  Wrappers: W1u creates a token at
+   the bottom when the ring is empty; W2u merges or cancels adjacent
+   tokens.  Dijkstra's K-state system implements the wrapped ring with
+   mod-K counters — and the refinement [Kstate ⪯ UTR[]W1u[]W2u] holds
+   mechanically, the cleanest convergence-refinement instance in this
+   repository (every concrete move is an exact abstract move, a merge, or
+   a pair cancellation). *)
+
+let pf = Format.printf
+
+let () =
+  let n = 3 in
+  let k = n + 1 in
+  pf "=== Deriving Dijkstra's K-state ring (N=%d, K=%d) ===@.@." n k;
+
+  let utr = Cr_guarded.Program.to_explicit (Cr_tokenring.Utr.program n) in
+  pf "abstract UTR: %d states, %d transitions@."
+    (Cr_semantics.Explicit.num_states utr)
+    (Cr_semantics.Explicit.num_transitions utr);
+
+  (* the wrapped abstract system stabilizes (preemptive wrappers) *)
+  let wp, is_w = Cr_tokenring.Utr.wrapped_priority n in
+  let utrw_p = Cr_guarded.Program.to_explicit ~priority_of:is_w wp in
+  let r = Cr_core.Stabilize.stabilizing_to ~c:utrw_p ~a:utr () in
+  pf "(UTR [] W1u [] W2u) stabilizing to UTR: %a@.@." Cr_core.Stabilize.pp_report r;
+
+  (* the concrete K-state system is a convergence refinement of the
+     wrapped abstract ring *)
+  let utrw = Cr_guarded.Program.to_explicit (Cr_tokenring.Utr.wrapped n) in
+  let ks = Cr_guarded.Program.to_explicit (Cr_tokenring.Kstate.program ~n ~k) in
+  let alpha =
+    Cr_semantics.Abstraction.tabulate (Cr_tokenring.Kstate.alpha ~n ~k) ks utrw
+  in
+  let refines = Cr_core.Refine.convergence_refinement ~alpha ~c:ks ~a:utrw () in
+  pf "[Kstate ⪯ UTR[]W1u[]W2u]: %a@.@." Cr_core.Refine.pp_report refines;
+
+  (* ... and therefore (checked directly) stabilizes to UTR *)
+  let alpha_u =
+    Cr_semantics.Abstraction.tabulate (Cr_tokenring.Kstate.alpha ~n ~k) ks utr
+  in
+  let stab = Cr_core.Stabilize.stabilizing_to ~alpha:alpha_u ~c:ks ~a:utr () in
+  pf "Kstate stabilizing to UTR: %a@.@." Cr_core.Stabilize.pp_report stab;
+
+  (* the threshold: how small can K be? *)
+  pf "the K threshold (exact, from the model checker):@.";
+  for k' = 2 to n + 2 do
+    let r = Cr_experiments.Ring_exps.kstate_stabilizes ~n ~k:k' in
+    pf "  K=%d: %s@." k'
+      (if r.Cr_core.Stabilize.holds then "stabilizing" else "NOT stabilizing")
+  done;
+  pf "(minimal K = N = machines - 1, the classic tight bound)@.@.";
+
+  (* watch a recovery with the token picture *)
+  pf "a recovery under the round-robin daemon (3 faults):@.";
+  let p = Cr_tokenring.Kstate.program ~n ~k in
+  let rng = Random.State.make [| 4 |] in
+  let layout = Cr_guarded.Program.layout p in
+  let legit =
+    List.find
+      (fun s -> Cr_tokenring.Kstate.token_count n s = 1)
+      (Cr_guarded.Layout.enumerate layout)
+  in
+  let s0 = Cr_fault.Injector.corrupt_k ~rng layout legit ~k:3 in
+  let d = Cr_sim.Daemon.round_robin () in
+  let t = Cr_sim.Runner.run d p ~start:s0 ~max_steps:12 in
+  let show s =
+    Printf.sprintf "%s   counters %s"
+      (Cr_tokenring.Render.utr_line (Cr_tokenring.Kstate.to_tokens n s))
+      (String.concat "" (Array.to_list (Array.map string_of_int s)))
+  in
+  pf "start %s@." (show s0);
+  List.iteri
+    (fun i e ->
+      pf "%3d   %s  (%s)@." (i + 1) (show e.Cr_sim.Runner.state)
+        e.Cr_sim.Runner.action)
+    t.Cr_sim.Runner.steps

@@ -1,0 +1,67 @@
+(* Quickstart: define a system, wrap it, and model-check stabilization.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The walk-through mirrors Section 3 of the paper: the abstract
+   bidirectional token ring BTR is fault-intolerant; adding the wrappers
+   W1 (token creation) and W2 (token deletion) makes it stabilizing —
+   provided the wrappers preempt the ring actions (see EXPERIMENTS.md on
+   execution models). *)
+
+let () =
+  let n = 3 in
+  Format.printf "=== Convergence Refinement quickstart (ring 0..%d) ===@.@." n;
+
+  (* 1. The abstract bidirectional token ring, compiled to an explicit
+     transition system. *)
+  let btr_program = Cr_tokenring.Btr.program n in
+  let btr = Cr_guarded.Program.to_explicit btr_program in
+  Format.printf "BTR(%d): %d states, %d transitions@." n
+    (Cr_semantics.Explicit.num_states btr)
+    (Cr_semantics.Explicit.num_transitions btr);
+
+  (* 2. BTR alone is not stabilizing: a faulted (token-free or multi-token)
+     state never recovers. *)
+  let self = Cr_core.Stabilize.self_stabilizing btr in
+  Format.printf "BTR self-stabilizing? %b@." self.Cr_core.Stabilize.holds;
+
+  (* 3. Add the dependability wrappers W1 and W2 with preemptive
+     semantics, and model-check Theorem 6. *)
+  let wrapped, is_wrapper = Cr_tokenring.Btr.wrapped_priority n in
+  let wrapped_e = Cr_guarded.Program.to_explicit ~priority_of:is_wrapper wrapped in
+  let thm6 = Cr_core.Stabilize.stabilizing_to ~c:wrapped_e ~a:btr () in
+  Format.printf "Theorem 6: %a@.@." Cr_core.Stabilize.pp_report thm6;
+
+  (* 4. Refine: Dijkstra's 3-state ring is a concrete implementation over
+     mod-3 counters.  Check it stabilizes to BTR through the Section 5
+     abstraction function. *)
+  let d3 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 n) in
+  let alpha = Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr3.alpha n) d3 btr in
+  let thm11 = Cr_core.Stabilize.stabilizing_to ~alpha ~c:d3 ~a:btr () in
+  Format.printf "Theorem 11: %a@.@." Cr_core.Stabilize.pp_report thm11;
+
+  (* 5. And check the refinement relation itself: C1 (the 4-state
+     concrete system) is a convergence refinement of BTR. *)
+  let c1 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr4.c1 n) in
+  let alpha4 = Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr4.alpha n) c1 btr in
+  let lemma7 = Cr_core.Refine.convergence_refinement ~alpha:alpha4 ~c:c1 ~a:btr () in
+  Format.printf "Lemma 7: %a@.@." Cr_core.Refine.pp_report lemma7;
+
+  (* 6. Watch a recovery: corrupt Dijkstra's ring and let a random daemon
+     run it back to a single token. *)
+  let p = Cr_tokenring.Btr3.dijkstra3 n in
+  let rng = Random.State.make [| 42 |] in
+  let s0 =
+    Cr_fault.Injector.corrupt_k ~rng
+      (Cr_guarded.Program.layout p)
+      (Cr_tokenring.Btr3.canonical n) ~k:2
+  in
+  let daemon = Cr_sim.Daemon.random ~seed:7 in
+  let trace = Cr_sim.Runner.run daemon p ~start:s0 ~max_steps:12 in
+  Format.printf "Recovery trace after 2 faults:@.%a@."
+    (Cr_sim.Runner.pp_trace p) trace;
+  List.iteri
+    (fun i e ->
+      Format.printf "  step %2d: %d token(s)@." (i + 1)
+        (Cr_tokenring.Btr3.token_count n e.Cr_sim.Runner.state))
+    trace.Cr_sim.Runner.steps

@@ -1,0 +1,66 @@
+(* Finite-automaton views of the bidding server, tying the introduction's
+   example into the refinement framework.
+
+   With bids over 0..b and arity k, the specification's states are the
+   k-multisets (canonically sorted lists) and the implementation's states
+   are arbitrary k-tuples — the extra states introduced by the
+   refinement.  The abstraction function forgets the order.  The checkers
+   then show mechanically:
+
+   - [impl ⊑ spec]_init holds (fault-free, the sorted-list implementation
+     is a refinement);
+   - [impl ⪯ spec] fails — e.g. a list whose head was corrupted to the
+     maximum blocks all future bids, so a terminal implementation state
+     maps to a non-terminal specification state;
+   - the wrapped implementation (repair-then-bid) is an everywhere
+     refinement of the specification, hence preserves its tolerance
+     (Theorem 0). *)
+
+let rec tuples ~b ~k =
+  if k = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun rest -> List.init (b + 1) (fun v -> v :: rest))
+      (tuples ~b ~k:(k - 1))
+
+let spec_system ~b ~k =
+  let states =
+    List.sort_uniq compare (List.map (List.sort compare) (tuples ~b ~k))
+  in
+  Cr_semantics.System.make
+    ~name:(Printf.sprintf "bid-spec(k=%d,b=%d)" k b)
+    ~states
+    ~step:(fun s ->
+      List.init (b + 1) (fun v -> Spec.stored (Spec.bid v (Spec.of_list ~k s))))
+    ~is_initial:(fun s -> s = List.init k (fun _ -> 0))
+    ~pp:(fun fmt s -> Fmt.pf fmt "{%a}" Fmt.(list ~sep:(any ",") int) s)
+    ()
+
+let impl_system ~b ~k =
+  let states = tuples ~b ~k in
+  let sorted s = List.sort compare s = s in
+  Cr_semantics.System.make
+    ~name:(Printf.sprintf "bid-impl(k=%d,b=%d)" k b)
+    ~states
+    ~step:(fun s ->
+      List.init (b + 1) (fun v ->
+          Sorted_impl.raw_list (Sorted_impl.bid v (Sorted_impl.unsafe_of_raw ~k s))))
+    ~is_initial:(fun s -> sorted s && List.for_all (fun v -> v = 0) s)
+    ~pp:(fun fmt s -> Fmt.pf fmt "[%a]" Fmt.(list ~sep:(any ",") int) s)
+    ()
+
+let wrapped_system ~b ~k =
+  let states = tuples ~b ~k in
+  Cr_semantics.System.make
+    ~name:(Printf.sprintf "bid-wrapped(k=%d,b=%d)" k b)
+    ~states
+    ~step:(fun s ->
+      List.init (b + 1) (fun v ->
+          Sorted_impl.raw_list (Wrapper.bid v (Sorted_impl.unsafe_of_raw ~k s))))
+    ~is_initial:(fun s -> List.for_all (fun v -> v = 0) s)
+    ~pp:(fun fmt s -> Fmt.pf fmt "[%a]" Fmt.(list ~sep:(any ",") int) s)
+    ()
+
+(* Forget the order. *)
+let alpha : (int list, int list) Cr_semantics.Abstraction.t =
+  Cr_semantics.Abstraction.make ~name:"sort" (fun s -> List.sort compare s)

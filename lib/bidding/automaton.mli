@@ -1,0 +1,17 @@
+(** Finite-automaton views of the bidding server, connecting the intro
+    example to the refinement checkers (see implementation commentary for
+    the checked facts). *)
+
+val tuples : b:int -> k:int -> int list list
+
+val spec_system : b:int -> k:int -> int list Cr_semantics.System.t
+(** States: k-multisets of bids over 0..b (canonically sorted). *)
+
+val impl_system : b:int -> k:int -> int list Cr_semantics.System.t
+(** States: arbitrary k-tuples (the refinement's extra states). *)
+
+val wrapped_system : b:int -> k:int -> int list Cr_semantics.System.t
+(** The implementation wrapped with repair-then-bid. *)
+
+val alpha : (int list, int list) Cr_semantics.Abstraction.t
+(** Forget the order (sort). *)

@@ -1,0 +1,63 @@
+(* The sorted-list implementation of the bidding server from the paper's
+   introduction.
+
+   The implementation keeps the k highest bids in a sorted list whose head
+   is the minimum.  bid(v) compares v against the *head only*: if greater,
+   the head is dropped and v is inserted in order.  In the absence of
+   faults this refines the specification exactly.  Under corruption of a
+   single stored bid the refinement breaks: corrupting the head to
+   MAX_INT blocks every future bid, so the implementation fails the
+   (k-1)-of-best-k tolerance that the specification provides.  (This is
+   the paper's example of a refinement that does not preserve
+   fault-tolerance.)
+
+   Unlike the specification, the implementation's list is *assumed*
+   sorted rather than re-sorted on every access — that assumption is the
+   extra (corruptible) state the refinement introduces. *)
+
+type t = { k : int; list : int list (* ascending if uncorrupted *) }
+
+let create ~k = { k; list = List.init k (fun _ -> 0) }
+
+let of_list ~k bids =
+  if List.length bids <> k then invalid_arg "Sorted_impl.of_list";
+  { k; list = List.sort compare bids }
+
+(* Build a state from a raw list *without* re-sorting — models a state
+   whose sortedness invariant may have been broken by a fault. *)
+let unsafe_of_raw ~k list =
+  if List.length list <> k then invalid_arg "Sorted_impl.unsafe_of_raw";
+  { k; list }
+
+let raw_list t = t.list
+
+let rec insert_sorted v = function
+  | [] -> [ v ]
+  | x :: rest -> if v <= x then v :: x :: rest else x :: insert_sorted v rest
+
+(* bid(v): inspect the head (believed minimum) only. *)
+let bid v t =
+  match t.list with
+  | h :: rest when v > h -> { t with list = insert_sorted v rest }
+  | _ -> t
+
+let run t bids = List.fold_left (fun acc v -> bid v acc) t bids
+
+let winners t = List.rev (List.sort compare t.list)
+
+(* Corrupt the stored bid at a *list position* (no re-sort — that is the
+   point: the implementation trusts its own invariant). *)
+let corrupt ~index ~value t =
+  { t with list = List.mapi (fun i v -> if i = index then value else v) t.list }
+
+(* View as a specification state (forget the order). *)
+let to_spec t : Spec.t = Spec.of_list ~k:t.k t.list
+
+let is_sorted t =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | x :: (y :: _ as rest) -> x <= y && go rest
+  in
+  go t.list
+
+let pp fmt t = Fmt.pf fmt "[%a]" Fmt.(list ~sep:(any ",") int) t.list

@@ -1,0 +1,25 @@
+(** The sorted-list implementation of the bidding server (paper,
+    introduction).  Correct in the absence of faults; *not* tolerant to
+    single-bid corruption: a head corrupted high blocks all future bids. *)
+
+type t
+
+val create : k:int -> t
+val of_list : k:int -> int list -> t
+
+val unsafe_of_raw : k:int -> int list -> t
+(** Build a state without re-sorting — a state whose sortedness invariant
+    a fault may have broken. *)
+
+val raw_list : t -> int list
+
+val bid : int -> t -> t
+(** Compares [v] against the head (the believed minimum) only. *)
+
+val run : t -> int list -> t
+val winners : t -> int list
+val corrupt : index:int -> value:int -> t -> t
+val to_spec : t -> Spec.t
+val is_sorted : t -> bool
+val insert_sorted : int -> int list -> int list
+val pp : Format.formatter -> t -> unit

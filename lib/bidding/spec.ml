@@ -1,0 +1,66 @@
+(* The bidding-server specification from the paper's introduction.
+
+   The server stores the highest k bids.  bid(v) replaces the minimum
+   stored bid with v iff v is greater than that minimum.  The
+   specification state is a multiset of k bids (represented as a sorted
+   list, purely as a canonical form).
+
+   Fault model: corruption of a single stored bid.  The specification is
+   tolerant in the paper's sense: after a single corruption, the stored
+   multiset always agrees with the fault-free run on at least k-1 of the
+   best-k bids (checked by the test suite as the "diff at most one"
+   simulation invariant). *)
+
+type t = { k : int; stored : int list (* sorted ascending, length k *) }
+
+let create ~k = { k; stored = List.init k (fun _ -> 0) }
+
+let of_list ~k bids =
+  if List.length bids <> k then invalid_arg "Spec.of_list: wrong arity";
+  { k; stored = List.sort compare bids }
+
+let stored t = t.stored
+
+let arity t = t.k
+
+let minimum t = match t.stored with [] -> invalid_arg "Spec.minimum" | m :: _ -> m
+
+(* The canonical insertion used by bid: drop the minimum, insert v. *)
+let bid v t =
+  match t.stored with
+  | m :: rest when v > m -> { t with stored = List.sort compare (v :: rest) }
+  | _ -> t
+
+let run t bids = List.fold_left (fun acc v -> bid v acc) t bids
+
+let winners t = List.rev t.stored
+
+(* Multiset difference size: how many stored bids differ between two
+   states (of equal k). *)
+let diff t1 t2 =
+  let rec remove_one x = function
+    | [] -> None
+    | y :: rest -> if x = y then Some rest else Option.map (fun r -> y :: r) (remove_one x rest)
+  in
+  let rec go acc l1 l2 =
+    match l1 with
+    | [] -> acc
+    | x :: rest -> (
+        match remove_one x l2 with
+        | Some l2' -> go acc rest l2'
+        | None -> go (acc + 1) rest l2)
+  in
+  (* one-sided unmatched count; both multisets have the same size, so the
+     two sides agree *)
+  go 0 t1.stored t2.stored
+
+(* A single-bid corruption. *)
+let corrupt ~index ~value t =
+  {
+    t with
+    stored =
+      List.sort compare
+        (List.mapi (fun i v -> if i = index then value else v) t.stored);
+  }
+
+let pp fmt t = Fmt.pf fmt "{%a}" Fmt.(list ~sep:(any ",") int) t.stored

@@ -1,0 +1,32 @@
+(** The bidding-server specification (paper, introduction): a server that
+    stores the highest k bids as a multiset, tolerant to the corruption of
+    a single stored bid (it still serves k-1 of the best-k). *)
+
+type t
+
+val create : k:int -> t
+(** k zero bids. *)
+
+val of_list : k:int -> int list -> t
+val arity : t -> int
+val stored : t -> int list
+(** Canonical (ascending) view of the multiset. *)
+
+val minimum : t -> int
+
+val bid : int -> t -> t
+(** [bid v t] replaces the minimum stored bid with [v] iff [v] exceeds
+    it. *)
+
+val run : t -> int list -> t
+val winners : t -> int list
+(** Stored bids, best first. *)
+
+val diff : t -> t -> int
+(** Multiset distance: number of stored bids in which two states
+    disagree. *)
+
+val corrupt : index:int -> value:int -> t -> t
+(** Transient corruption of one stored bid. *)
+
+val pp : Format.formatter -> t -> unit

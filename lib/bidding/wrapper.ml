@@ -1,0 +1,21 @@
+(* A graybox dependability wrapper for the bidding server.
+
+   Designed purely against the *specification* (the stored state is a
+   multiset of k bids; the implementation detail being protected — the
+   sort order — is re-established, not inspected): the wrapper simply
+   re-normalizes the stored list into the specification's canonical form
+   before each operation.  Adding it to the sorted-list implementation
+   restores the specification's tolerance to single-bid corruption, which
+   the test suite verifies with the same "diff at most one" property that
+   the raw implementation fails. *)
+
+let repair (impl : Sorted_impl.t) : Sorted_impl.t =
+  Sorted_impl.of_list ~k:(List.length (Sorted_impl.raw_list impl))
+    (Sorted_impl.raw_list impl)
+
+(* The wrapped bid operation: repair, then delegate. *)
+let bid v impl = Sorted_impl.bid v (repair impl)
+
+let run impl bids = List.fold_left (fun acc v -> bid v acc) impl bids
+
+let winners impl = Sorted_impl.winners impl

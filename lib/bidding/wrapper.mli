@@ -1,0 +1,9 @@
+(** Graybox dependability wrapper for the bidding server: designed against
+    the specification only, it re-normalizes the stored state before each
+    operation and thereby restores the specification's single-corruption
+    tolerance for the sorted-list implementation. *)
+
+val repair : Sorted_impl.t -> Sorted_impl.t
+val bid : int -> Sorted_impl.t -> Sorted_impl.t
+val run : Sorted_impl.t -> int list -> Sorted_impl.t
+val winners : Sorted_impl.t -> int list

@@ -1,0 +1,71 @@
+(* Exact expected hitting times under a uniformly random daemon.
+
+   Treat the system as a Markov chain where each state picks uniformly
+   among its successors; [expected ~succ ~target] returns E[steps to
+   reach the target set] per state (infinity when the target is not
+   reached almost surely — i.e. when some reachable sink or closed
+   component avoids it).
+
+   Solved by value iteration, which converges geometrically on absorbing
+   chains.  Used by the convergence-cost experiments as the exact
+   counterpart of the Monte-Carlo mean (they are cross-checked in the
+   test suite). *)
+
+let expected ?(epsilon = 1e-9) ?(max_iter = 1_000_000) ~(succ : int array array)
+    ~(target : bool array) () : float array =
+  let n = Array.length succ in
+  (* states that cannot reach the target at all diverge *)
+  let can_reach = Reach.backward ~succ ~seeds:(Reach.members target) in
+  (* states from which the daemon might forever avoid the target do not
+     have finite expectation only if avoidance has probability 1; under
+     uniform choice, any state that CAN reach the target reaches it a.s.
+     iff no reachable closed component avoids it.  For expectation
+     purposes value iteration handles this: expectations of states inside
+     avoidance-possible regions still converge iff escape is a.s.  We
+     mark states that cannot reach the target as infinite up front. *)
+  let e = Array.make n 0.0 in
+  let next = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    if not can_reach.(i) then e.(i) <- infinity
+  done;
+  let iter = ref 0 in
+  let delta = ref infinity in
+  while !delta > epsilon && !iter < max_iter do
+    delta := 0.0;
+    for i = 0 to n - 1 do
+      if target.(i) then next.(i) <- 0.0
+      else if not can_reach.(i) then next.(i) <- infinity
+      else begin
+        let js = succ.(i) in
+        let d = Array.length js in
+        if d = 0 then next.(i) <- infinity (* non-target deadlock *)
+        else begin
+          let sum = ref 0.0 in
+          Array.iter (fun j -> sum := !sum +. e.(j)) js;
+          next.(i) <- 1.0 +. (!sum /. float_of_int d)
+        end
+      end;
+      let diff = Float.abs (next.(i) -. e.(i)) in
+      if Float.is_nan diff then ()
+      else if diff > !delta then delta := diff
+    done;
+    Array.blit next 0 e 0 n;
+    incr iter
+  done;
+  e
+
+let max_finite (e : float array) =
+  Array.fold_left
+    (fun acc v -> if Float.is_finite v && v > acc then v else acc)
+    0.0 e
+
+let mean_finite (e : float array) =
+  let total = ref 0.0 and count = ref 0 in
+  Array.iter
+    (fun v ->
+      if Float.is_finite v then begin
+        total := !total +. v;
+        incr count
+      end)
+    e;
+  if !count = 0 then nan else !total /. float_of_int !count

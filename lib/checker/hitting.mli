@@ -1,0 +1,17 @@
+(** Exact expected hitting times under a uniformly random daemon (value
+    iteration on the induced Markov chain). *)
+
+val expected :
+  ?epsilon:float ->
+  ?max_iter:int ->
+  succ:int array array ->
+  target:bool array ->
+  unit ->
+  float array
+(** [expected ~succ ~target ()].(i) is the expected number of steps from
+    [i] to the target set when successors are chosen uniformly;
+    [infinity] when the target is unreachable (or a non-target deadlock
+    is hit surely). *)
+
+val max_finite : float array -> float
+val mean_finite : float array -> float

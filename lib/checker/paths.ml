@@ -1,0 +1,102 @@
+(* Shortest-path queries (BFS) over adjacency arrays. *)
+
+let bfs_distances ~succ ~src =
+  let n = Array.length succ in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    Array.iter
+      (fun j ->
+        if dist.(j) = -1 then begin
+          dist.(j) <- dist.(i) + 1;
+          Queue.push j q
+        end)
+      succ.(i)
+  done;
+  dist
+
+(* Length of the shortest nonempty path from [src] to [dst]; [None] when
+   unreachable by a nonempty path.  (src = dst requires a cycle.) *)
+let shortest_nonempty ~succ ~src ~dst =
+  if src <> dst then
+    let d = bfs_distances ~succ ~src in
+    if d.(dst) >= 1 then Some d.(dst) else None
+  else
+    (* shortest cycle through src *)
+    let best = ref None in
+    Array.iter
+      (fun j ->
+        let d = bfs_distances ~succ ~src:j in
+        if d.(dst) >= 0 then
+          let len = 1 + d.(dst) in
+          match !best with
+          | Some b when b <= len -> ()
+          | _ -> best := Some len)
+      succ.(src);
+    !best
+
+(* Reconstruct one shortest path src -> dst (list of states, inclusive);
+   requires dst reachable. *)
+let shortest_path ~succ ~src ~dst =
+  if src = dst then Some [ src ]
+  else
+    let n = Array.length succ in
+    let parent = Array.make n (-1) in
+    let dist = Array.make n (-1) in
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.push src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let i = Queue.pop q in
+      Array.iter
+        (fun j ->
+          if dist.(j) = -1 then begin
+            dist.(j) <- dist.(i) + 1;
+            parent.(j) <- i;
+            if j = dst then found := true;
+            Queue.push j q
+          end)
+        succ.(i)
+    done;
+    if not !found then None
+    else begin
+      let rec build acc i = if i = src then src :: acc else build (i :: acc) parent.(i) in
+      Some (build [] dst)
+    end
+
+(* Longest path (number of edges) from each masked state while staying in
+   the masked region, where leaving the region (or stopping) costs nothing.
+   Requires the masked subgraph to be acyclic; raises otherwise.  Used for
+   worst-case convergence times: the masked region is the non-converged
+   part of the state space. *)
+exception Cyclic
+
+let longest_within ~succ ~mask =
+  let n = Array.length succ in
+  let memo = Array.make n (-1) in
+  let visiting = Array.make n false in
+  let rec go i =
+    if not mask.(i) then 0
+    else if memo.(i) >= 0 then memo.(i)
+    else begin
+      if visiting.(i) then raise Cyclic;
+      visiting.(i) <- true;
+      let best = ref 0 in
+      Array.iter
+        (fun j ->
+          let v = 1 + go j in
+          if v > !best then best := v)
+        succ.(i);
+      visiting.(i) <- false;
+      memo.(i) <- !best;
+      !best
+    end
+  in
+  (* The recursion depth is bounded by the longest simple path; make it
+     explicit-stack-safe for large graphs by iterating roots in a loop and
+     relying on OCaml's default stack for the modest sizes we verify. *)
+  Array.init n (fun i -> if mask.(i) then go i else 0)

@@ -1,0 +1,21 @@
+(** BFS shortest paths and DAG longest paths over adjacency arrays. *)
+
+val bfs_distances : succ:int array array -> src:int -> int array
+(** [dist.(j)] = shortest path length from [src], or [-1]. *)
+
+val shortest_nonempty : succ:int array array -> src:int -> dst:int -> int option
+(** Length of the shortest path of length >= 1 (for [src = dst], the
+    shortest cycle).  Used to classify compression edges in the
+    convergence-refinement checker. *)
+
+val shortest_path : succ:int array array -> src:int -> dst:int -> int list option
+(** One shortest path, inclusive of endpoints ([src = dst] gives [[src]]). *)
+
+exception Cyclic
+
+val longest_within : succ:int array array -> mask:bool array -> int array
+(** [longest_within ~succ ~mask] gives, for each masked state, the maximum
+    number of consecutive transitions that remain inside the masked region
+    starting there.  Raises {!Cyclic} if the masked subgraph has a cycle.
+    This is the exact worst-case convergence time when [mask] is the set of
+    illegitimate states of a stabilizing system. *)

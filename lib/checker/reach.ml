@@ -1,0 +1,42 @@
+(* Reachability over adjacency arrays. *)
+
+let forward ~succ ~(seeds : int list) : bool array =
+  let n = Array.length succ in
+  let seen = Array.make n false in
+  let stack = Stack.create () in
+  let push i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      Stack.push i stack
+    end
+  in
+  List.iter push seeds;
+  while not (Stack.is_empty stack) do
+    let i = Stack.pop stack in
+    Array.iter push succ.(i)
+  done;
+  seen
+
+let transpose succ =
+  let n = Array.length succ in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i js -> Array.iter (fun j -> preds.(j) <- i :: preds.(j)) js)
+    succ;
+  Array.map (fun l -> Array.of_list l) preds
+
+(* States that can reach some seed. *)
+let backward ~succ ~seeds = forward ~succ:(transpose succ) ~seeds
+
+let of_explicit expl = Array.init (Cr_semantics.Explicit.num_states expl) (Cr_semantics.Explicit.successors expl)
+
+let reachable_from_initial expl =
+  forward ~succ:(of_explicit expl)
+    ~seeds:(Array.to_list (Cr_semantics.Explicit.initials expl))
+
+let count mask = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask
+
+let members mask =
+  let acc = ref [] in
+  Array.iteri (fun i b -> if b then acc := i :: !acc) mask;
+  List.rev !acc

@@ -1,0 +1,19 @@
+(** Reachability over adjacency arrays ([succ.(i)] = successors of [i]). *)
+
+val forward : succ:int array array -> seeds:int list -> bool array
+(** States reachable from [seeds] (inclusive). *)
+
+val backward : succ:int array array -> seeds:int list -> bool array
+(** States that can reach some member of [seeds] (inclusive). *)
+
+val transpose : int array array -> int array array
+
+val of_explicit : _ Cr_semantics.Explicit.t -> int array array
+(** The adjacency array of an explicit system. *)
+
+val reachable_from_initial : _ Cr_semantics.Explicit.t -> bool array
+(** States reachable from the initial states — for a specification [A]
+    these are the "legitimate" states used by the stabilization checker. *)
+
+val count : bool array -> int
+val members : bool array -> int list

@@ -1,0 +1,86 @@
+(* Strongly connected components, iterative Tarjan. *)
+
+type t = {
+  component : int array;  (* state index -> component id *)
+  count : int;
+  sizes : int array;  (* component id -> number of states *)
+}
+
+let compute (succ : int array array) : t =
+  let n = Array.length succ in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  (* Iterative DFS with an explicit call stack of (node, next-child). *)
+  let call = Stack.create () in
+  let start v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    Stack.push v stack;
+    on_stack.(v) <- true;
+    Stack.push (v, ref 0) call
+  in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      start root;
+      while not (Stack.is_empty call) do
+        let v, child = Stack.top call in
+        if !child < Array.length succ.(v) then begin
+          let w = succ.(v).(!child) in
+          incr child;
+          if index.(w) = -1 then start w
+          else if on_stack.(w) then
+            lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          ignore (Stack.pop call);
+          if lowlink.(v) = index.(v) then begin
+            let continue = ref true in
+            while !continue do
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              component.(w) <- !next_comp;
+              if w = v then continue := false
+            done;
+            incr next_comp
+          end;
+          if not (Stack.is_empty call) then begin
+            let parent, _ = Stack.top call in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          end
+        end
+      done
+    end
+  done;
+  let sizes = Array.make !next_comp 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) component;
+  { component; count = !next_comp; sizes }
+
+(* Is state [i] on some cycle?  True iff its component has >= 2 states
+   (self-loops are excluded from our graphs by construction). *)
+let on_cycle t i = t.sizes.(t.component.(i)) >= 2
+
+(* Does edge (i, j) lie on a cycle, i.e. are i and j in the same
+   component? *)
+let edge_on_cycle t i j = t.component.(i) = t.component.(j)
+
+(* Is the subgraph induced by [mask] acyclic?  Computed on the restricted
+   adjacency. *)
+let acyclic_within succ mask =
+  let n = Array.length succ in
+  let restricted =
+    Array.init n (fun i ->
+        if not mask.(i) then [||]
+        else Array.of_list (List.filter (fun j -> mask.(j)) (Array.to_list succ.(i))))
+  in
+  let t = compute restricted in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if mask.(i) && t.sizes.(t.component.(i)) >= 2 then ok := false
+  done;
+  !ok

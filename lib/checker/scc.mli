@@ -1,0 +1,22 @@
+(** Strongly connected components (iterative Tarjan) and cycle queries.
+
+    Graphs here never contain self-loops (explicit systems drop them), so a
+    state lies on a cycle iff its component has at least two states. *)
+
+type t = {
+  component : int array;  (** state index -> component id *)
+  count : int;  (** number of components *)
+  sizes : int array;  (** component id -> size *)
+}
+
+val compute : int array array -> t
+
+val on_cycle : t -> int -> bool
+(** Is the state on some cycle? *)
+
+val edge_on_cycle : t -> int -> int -> bool
+(** Are both endpoints in the same component (so the edge closes a
+    cycle)? *)
+
+val acyclic_within : int array array -> bool array -> bool
+(** Is the subgraph induced by the masked states acyclic? *)

@@ -1,0 +1,120 @@
+(* Weak fairness.
+
+   The paper (like much of the stabilization literature) is silent about
+   the daemon; several of its wrapped-system claims fail under a fully
+   adversarial interleaving daemon because the daemon can starve an
+   enabled wrapper or ring action forever (see EXPERIMENTS.md).  Under
+   *weak fairness* — an action that is continuously enabled is eventually
+   taken — those starvation cycles are excluded.
+
+   Decision procedure: an infinite run of a finite system eventually stays
+   inside one SCC and can visit all its states infinitely often.  Hence a
+   weakly-fair divergent run confined to an SCC [C] exists iff for every
+   action [a] enabled at *every* state of [C] there is an [a]-labelled
+   transition that stays inside [C].  (If [a] is disabled somewhere in
+   [C], a run is fair w.r.t. [a] by visiting that state infinitely often;
+   if [a] is enabled everywhere in [C] but always exits [C], every run
+   confined to [C] — or to any subset of [C] — starves [a].)  This makes
+   the per-SCC check exact.
+
+   Actions are given as a table over state indices:
+   [next.(a).(i) = j] when action [a] fires from state [i] to [j], and
+   [-1] when [a] is disabled at [i] (a no-op firing counts as disabled:
+   it generates no transition). *)
+
+type tables = int array array
+(** [next.(action).(state)] = successor index, or [-1]. *)
+
+type analysis = {
+  component : int array;  (* component id per state; -1 outside the mask *)
+  fair : bool array;  (* state lies in a fair-admissible SCC *)
+  sccs : int list list;  (* the fair-admissible SCCs *)
+}
+
+let enabled (next : tables) a i = next.(a).(i) >= 0
+
+(* [graph] is the (restricted) adjacency the run is confined to: a step
+   counts as "taken inside" only if it is an edge of that graph within the
+   SCC.  (For stuttering analyses the graph is a strict subgraph of the
+   system, so the edge-membership test matters.) *)
+let admissible (next : tables) ~(graph : int array array)
+    ~(in_scc : int -> bool) (states : int list) =
+  match states with
+  | [] | [ _ ] -> false
+  | _ ->
+      let num_actions = Array.length next in
+      let ok = ref true in
+      for a = 0 to num_actions - 1 do
+        if !ok then begin
+          let always_enabled = List.for_all (fun i -> enabled next a i) states in
+          if always_enabled then begin
+            let taken_inside =
+              List.exists
+                (fun i ->
+                  let j = next.(a).(i) in
+                  j >= 0 && in_scc j && Array.exists (fun k -> k = j) graph.(i))
+                states
+            in
+            if not taken_inside then ok := false
+          end
+        end
+      done;
+      !ok
+
+(* Analyze the subgraph induced by [mask]: compute its SCCs and which of
+   them carry a weakly-fair infinite run. *)
+let analyze (next : tables) ~(succ : int array array) ~(mask : bool array) :
+    analysis =
+  let n = Array.length succ in
+  let restricted =
+    Array.init n (fun i ->
+        if not mask.(i) then [||]
+        else
+          Array.of_list
+            (List.filter (fun j -> mask.(j)) (Array.to_list succ.(i))))
+  in
+  let scc = Cr_checker.Scc.compute restricted in
+  let members = Array.make scc.Cr_checker.Scc.count [] in
+  for i = n - 1 downto 0 do
+    if mask.(i) then begin
+      let c = scc.Cr_checker.Scc.component.(i) in
+      members.(c) <- i :: members.(c)
+    end
+  done;
+  let component = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    if mask.(i) then component.(i) <- scc.Cr_checker.Scc.component.(i)
+  done;
+  let fair = Array.make n false in
+  let sccs = ref [] in
+  Array.iteri
+    (fun c states ->
+      if scc.Cr_checker.Scc.sizes.(c) >= 2 then begin
+        let in_scc j = mask.(j) && scc.Cr_checker.Scc.component.(j) = c in
+        if admissible next ~graph:restricted ~in_scc states then begin
+          List.iter (fun i -> fair.(i) <- true) states;
+          sccs := states :: !sccs
+        end
+      end)
+    members;
+  { component; fair; sccs = List.rev !sccs }
+
+let has_fair_divergence next ~succ ~mask =
+  (analyze next ~succ ~mask).sccs <> []
+
+let edge_on_fair_cycle analysis i j =
+  analysis.fair.(i) && analysis.component.(i) = analysis.component.(j)
+
+(* Build the action table of a compiled explicit system from a list of
+   firing functions over raw states.  [fire.(a) state = Some state'] when
+   action [a] makes a (state-changing) step. *)
+let tables_of ~(num_states : int) ~(state_of : int -> 'a)
+    ~(index_of : 'a -> int option) (fires : ('a -> 'a option) list) : tables =
+  let fires = Array.of_list fires in
+  Array.map
+    (fun fire ->
+      Array.init num_states (fun i ->
+          match fire (state_of i) with
+          | None -> -1
+          | Some s' -> ( match index_of s' with Some j -> j | None -> -1)))
+    fires

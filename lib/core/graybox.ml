@@ -1,0 +1,58 @@
+open Cr_semantics
+
+(* The graybox stabilization workflow of Section 2.2, packaged: given a
+   specification A, a wrapper W designed against A alone, an
+   implementation C and (optionally) an independently refined wrapper W',
+   discharge the premises of Theorem 5 and conclude.
+
+   All four systems must share one state space (use the guarded-command
+   layer and {!Cr_semantics.Explicit.box} for composition across state
+   spaces via abstraction, as the token-ring experiments do). *)
+
+type result = {
+  wrapper_stabilizes_spec : Stabilize.report;  (* (A [] W) stabilizing to A *)
+  impl_refines_spec : Refine.report;  (* [C ⪯ A] *)
+  wrapper_refines : Refine.report option;  (* [W' ⪯ W], when W' given *)
+  conclusion : Stabilize.report;  (* (C [] W') stabilizing to A *)
+  sound : bool;
+      (* all discharged premises hold and the conclusion holds — i.e. the
+         instance witnesses Theorem 3/5 *)
+}
+
+let pp fmt r =
+  Fmt.pf fmt "@[<v>premise (A[]W) stab A : %a@,premise [C ⪯ A]      : %a@,%aconclusion           : %a@,workflow sound       : %b@]"
+    Stabilize.pp_report r.wrapper_stabilizes_spec Refine.pp_report
+    r.impl_refines_spec
+    (fun fmt -> function
+      | None -> ()
+      | Some w -> Fmt.pf fmt "premise [W' ⪯ W]     : %a@," Refine.pp_report w)
+    r.wrapper_refines Stabilize.pp_report r.conclusion r.sound
+
+let run ?(box = fun a b -> Explicit.box a b) ?w' ~(spec : 'a Explicit.t)
+    ~(wrapper : 'a Explicit.t) ~(impl : 'a Explicit.t) () : result =
+  let aw = box spec wrapper in
+  let wrapper_stabilizes_spec = Stabilize.stabilizing_to ~c:aw ~a:spec () in
+  let impl_refines_spec = Refine.convergence_refinement ~c:impl ~a:spec () in
+  let w'_used = match w' with Some w -> w | None -> wrapper in
+  let wrapper_refines =
+    match w' with
+    | None -> None
+    | Some w ->
+        Some (Refine.convergence_refinement ~c:w ~a:wrapper ())
+  in
+  let cw = box impl w'_used in
+  let conclusion = Stabilize.stabilizing_to ~c:cw ~a:spec () in
+  let premises =
+    wrapper_stabilizes_spec.Stabilize.holds
+    && impl_refines_spec.Refine.holds
+    && match wrapper_refines with
+       | None -> true
+       | Some r -> r.Refine.holds
+  in
+  {
+    wrapper_stabilizes_spec;
+    impl_refines_spec;
+    wrapper_refines;
+    conclusion;
+    sound = (not premises) || conclusion.Stabilize.holds;
+  }

@@ -1,0 +1,26 @@
+(** The graybox stabilization workflow of Section 2.2, packaged: discharge
+    the premises of Theorems 3/5 and conclude, on systems sharing one
+    state space. *)
+
+type result = {
+  wrapper_stabilizes_spec : Stabilize.report;
+  impl_refines_spec : Refine.report;
+  wrapper_refines : Refine.report option;
+  conclusion : Stabilize.report;
+  sound : bool;
+      (** premises discharged implies conclusion holds on this instance *)
+}
+
+val pp : Format.formatter -> result -> unit
+
+val run :
+  ?box:
+    ('a Cr_semantics.Explicit.t ->
+    'a Cr_semantics.Explicit.t ->
+    'a Cr_semantics.Explicit.t) ->
+  ?w':'a Cr_semantics.Explicit.t ->
+  spec:'a Cr_semantics.Explicit.t ->
+  wrapper:'a Cr_semantics.Explicit.t ->
+  impl:'a Cr_semantics.Explicit.t ->
+  unit ->
+  result

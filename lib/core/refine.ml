@@ -1,0 +1,356 @@
+open Cr_semantics
+
+(* Refinement checkers (Section 2 of the paper), decided on explicit
+   finite-state systems via edge classification.
+
+   Every transition (s, s') of the concrete system C is classified against
+   the abstract system A through the (tabulated) abstraction alpha:
+
+   - Stutter      : alpha s = alpha s'   (a "τ step"; the image does not move)
+   - Exact        : (alpha s, alpha s') is a transition of A
+   - Compression k: a shortest A-path of length k >= 2 joins the images
+                    (C drops k-1 interior states of A's computation)
+   - Unmatched    : no A-path joins the images.
+
+   [C ⊑ A]_init  — reachable-from-initial edges all Exact, initial images
+                   initial, terminal images terminal.
+   [C ⊑ A]       — all edges Exact, all terminals match, initial images
+                   initial.
+   [C ⪯ A]       — init-refinement holds; no edge Unmatched; no Compression
+                   edge on a cycle of C (so omissions are finite); no cycle
+                   of C made solely of Stutter edges unless its image is
+                   A-terminal; terminal images terminal.
+   everywhere-eventually — init-refinement holds; non-Exact edges are not
+                   on cycles; terminal images terminal.
+
+   The checks are sound: a "holds" verdict implies the trace-theoretic
+   definition (matching A-paths concatenate into a computation of A, and
+   maximality is preserved by the terminal conditions). *)
+
+type edge_class = Stutter | Exact | Compression of int
+
+type failure =
+  | Initial_not_initial of int
+      (* concrete initial state whose image is not initial in A *)
+  | Init_edge_not_exact of int * int
+      (* reachable-from-init edge that is not an A-transition *)
+  | Edge_unmatched of int * int  (* no A-path between the images *)
+  | Compression_on_cycle of int * int
+  | Stutter_cycle of int  (* a representative state of a stutter-only cycle *)
+  | Terminal_not_terminal of int  (* C-terminal whose image is not A-terminal *)
+  | Non_exact_on_cycle of int * int  (* everywhere-eventually violation *)
+
+let pp_failure c a fmt = function
+  | Initial_not_initial i ->
+      Fmt.pf fmt "initial state %s maps outside the initial states of %s"
+        (Explicit.state_to_string c i) (Explicit.name a)
+  | Init_edge_not_exact (i, j) ->
+      Fmt.pf fmt
+        "reachable transition %s -> %s is not a transition of %s"
+        (Explicit.state_to_string c i)
+        (Explicit.state_to_string c j)
+        (Explicit.name a)
+  | Edge_unmatched (i, j) ->
+      Fmt.pf fmt "transition %s -> %s matches no path of %s"
+        (Explicit.state_to_string c i)
+        (Explicit.state_to_string c j)
+        (Explicit.name a)
+  | Compression_on_cycle (i, j) ->
+      Fmt.pf fmt
+        "compression edge %s -> %s lies on a cycle (omissions unbounded)"
+        (Explicit.state_to_string c i)
+        (Explicit.state_to_string c j)
+  | Stutter_cycle i ->
+      Fmt.pf fmt
+        "stutter-only cycle through %s whose image cannot end a computation \
+         of %s"
+        (Explicit.state_to_string c i)
+        (Explicit.name a)
+  | Terminal_not_terminal i ->
+      Fmt.pf fmt "terminal state %s maps to a non-terminal state of %s"
+        (Explicit.state_to_string c i)
+        (Explicit.name a)
+  | Non_exact_on_cycle (i, j) ->
+      Fmt.pf fmt "non-exact edge %s -> %s lies on a cycle"
+        (Explicit.state_to_string c i)
+        (Explicit.state_to_string c j)
+
+type stats = {
+  edges : int;
+  exact : int;
+  stutter : int;
+  compressions : int;
+  max_dropped : int;  (* largest number of A-states dropped by one edge *)
+}
+
+let empty_stats =
+  { edges = 0; exact = 0; stutter = 0; compressions = 0; max_dropped = 0 }
+
+type report = {
+  holds : bool;
+  stats : stats;
+  failures : failure list;
+  concrete : string;
+  abstract : string;
+  relation : string;
+}
+
+let pp_report fmt r =
+  if r.holds then
+    Fmt.pf fmt "[%s %s %s] HOLDS (%d edges: %d exact, %d stutter, %d \
+                compressions, max drop %d)"
+      r.concrete r.relation r.abstract r.stats.edges r.stats.exact
+      r.stats.stutter r.stats.compressions r.stats.max_dropped
+  else
+    Fmt.pf fmt "[%s %s %s] FAILS (%d failure(s))" r.concrete r.relation
+      r.abstract (List.length r.failures)
+
+(* The concrete state a failure is anchored at (the source of the failing
+   edge, or the failing state itself). *)
+let failure_state = function
+  | Initial_not_initial i
+  | Terminal_not_terminal i
+  | Stutter_cycle i
+  | Init_edge_not_exact (i, _)
+  | Edge_unmatched (i, _)
+  | Compression_on_cycle (i, _)
+  | Non_exact_on_cycle (i, _) ->
+      i
+
+let max_reported_failures = 10
+
+(* Classify each edge of [c] against [a] through [alpha]. *)
+let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
+    (int * int * edge_class option) list * stats =
+  let succ_a = Cr_checker.Reach.of_explicit a in
+  let edges = ref [] in
+  let stats = ref empty_stats in
+  Explicit.iter_edges c (fun i j ->
+      let ai = alpha.(i) and aj = alpha.(j) in
+      let cls =
+        if ai = aj then Some Stutter
+        else if Explicit.has_edge a ai aj then Some Exact
+        else
+          match Cr_checker.Paths.shortest_nonempty ~succ:succ_a ~src:ai ~dst:aj with
+          | Some len when len >= 2 -> Some (Compression len)
+          | Some _ | None -> None
+      in
+      let s = !stats in
+      let s = { s with edges = s.edges + 1 } in
+      let s =
+        match cls with
+        | Some Stutter -> { s with stutter = s.stutter + 1 }
+        | Some Exact -> { s with exact = s.exact + 1 }
+        | Some (Compression len) ->
+            {
+              s with
+              compressions = s.compressions + 1;
+              max_dropped = max s.max_dropped (len - 1);
+            }
+        | None -> s
+      in
+      stats := s;
+      edges := (i, j, cls) :: !edges);
+  (List.rev !edges, !stats)
+
+let initial_failures ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) =
+  Array.to_list (Explicit.initials c)
+  |> List.filter_map (fun i ->
+         if Explicit.is_initial a alpha.(i) then None
+         else Some (Initial_not_initial i))
+
+let terminal_failures ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t)
+    ~(restrict : bool array option) =
+  let n = Explicit.num_states c in
+  let consider i =
+    match restrict with None -> true | Some mask -> mask.(i)
+  in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    if consider i && Explicit.is_terminal c i
+       && not (Explicit.is_terminal a alpha.(i))
+    then acc := Terminal_not_terminal i :: !acc
+  done;
+  List.rev !acc
+
+let make_report ~relation ~c ~a ~stats failures =
+  {
+    holds = failures = [];
+    stats;
+    failures =
+      (let rec take n = function
+         | [] -> []
+         | _ when n = 0 -> []
+         | x :: rest -> x :: take (n - 1) rest
+       in
+       take max_reported_failures failures);
+    concrete = Explicit.name c;
+    abstract = Explicit.name a;
+    relation;
+  }
+
+(* [C ⊑ A]_init *)
+let init_refinement ?alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) () =
+  let alpha =
+    match alpha with
+    | Some t -> t
+    | None -> Abstraction.identity_table (Explicit.num_states c)
+  in
+  let reach = Cr_checker.Reach.reachable_from_initial c in
+  let failures = ref (initial_failures ~alpha ~c ~a) in
+  let stats = ref empty_stats in
+  Explicit.iter_edges c (fun i j ->
+      if reach.(i) then begin
+        stats := { !stats with edges = !stats.edges + 1 };
+        if Explicit.has_edge a alpha.(i) alpha.(j) then
+          stats := { !stats with exact = !stats.exact + 1 }
+        else failures := Init_edge_not_exact (i, j) :: !failures
+      end);
+  let failures =
+    !failures @ terminal_failures ~alpha ~c ~a ~restrict:(Some reach)
+  in
+  make_report ~relation:"⊑_init" ~c ~a ~stats:!stats failures
+
+(* [C ⊑ A] — everywhere refinement *)
+let everywhere_refinement ?alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) () =
+  let alpha =
+    match alpha with
+    | Some t -> t
+    | None -> Abstraction.identity_table (Explicit.num_states c)
+  in
+  let failures = ref (initial_failures ~alpha ~c ~a) in
+  let stats = ref empty_stats in
+  Explicit.iter_edges c (fun i j ->
+      stats := { !stats with edges = !stats.edges + 1 };
+      if Explicit.has_edge a alpha.(i) alpha.(j) then
+        stats := { !stats with exact = !stats.exact + 1 }
+      else failures := Init_edge_not_exact (i, j) :: !failures);
+  let failures = !failures @ terminal_failures ~alpha ~c ~a ~restrict:None in
+  make_report ~relation:"⊑" ~c ~a ~stats:!stats failures
+
+(* [C ⪯ A] — convergence refinement.  With [?fair], "on a cycle" means
+   "on a weakly-fair cycle" (computations are restricted to weakly fair
+   ones; see {!Fair}). *)
+let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
+    ~(a : _ Explicit.t) () =
+  let alpha =
+    match alpha with
+    | Some t -> t
+    | None -> Abstraction.identity_table (Explicit.num_states c)
+  in
+  let classified, stats = classify ~alpha ~c ~a in
+  let n = Explicit.num_states c in
+  let succ_c = Cr_checker.Reach.of_explicit c in
+  let all_mask = Array.make n true in
+  let edge_on_cycle =
+    match fair with
+    | None ->
+        let scc = Cr_checker.Scc.compute succ_c in
+        fun i j -> Cr_checker.Scc.edge_on_cycle scc i j
+    | Some tables ->
+        let analysis = Fair.analyze tables ~succ:succ_c ~mask:all_mask in
+        fun i j -> Fair.edge_on_fair_cycle analysis i j
+  in
+  let failures = ref (initial_failures ~alpha ~c ~a) in
+  (* 1. Init refinement: reachable edges must be Exact. *)
+  let reach = Cr_checker.Reach.reachable_from_initial c in
+  List.iter
+    (fun (i, j, cls) ->
+      if reach.(i) && cls <> Some Exact then
+        failures := Init_edge_not_exact (i, j) :: !failures)
+    classified;
+  (* 2. Global matching + finiteness of omissions. *)
+  List.iter
+    (fun (i, j, cls) ->
+      match cls with
+      | None -> failures := Edge_unmatched (i, j) :: !failures
+      | Some (Compression _) when edge_on_cycle i j ->
+          failures := Compression_on_cycle (i, j) :: !failures
+      | Some _ -> ())
+    classified;
+  (* 3. Stutter-only cycles: an infinite computation of C whose image is
+     eventually constant normalizes to a finite sequence, so its (constant)
+     image must be able to end a computation of A, i.e. be A-terminal. *)
+  let stutter_succ = Array.make n [] in
+  List.iter
+    (fun (i, j, cls) ->
+      if cls = Some Stutter then stutter_succ.(i) <- j :: stutter_succ.(i))
+    classified;
+  let stutter_adj = Array.map Array.of_list stutter_succ in
+  let on_stutter_cycle =
+    match fair with
+    | None ->
+        let stutter_scc = Cr_checker.Scc.compute stutter_adj in
+        fun i -> Cr_checker.Scc.on_cycle stutter_scc i
+    | Some tables ->
+        let analysis = Fair.analyze tables ~succ:stutter_adj ~mask:all_mask in
+        fun i -> analysis.Fair.fair.(i)
+  in
+  for i = 0 to n - 1 do
+    if on_stutter_cycle i && not (Explicit.is_terminal a alpha.(i)) then
+      failures := Stutter_cycle i :: !failures
+  done;
+  (* 4. Terminal matching (everywhere). *)
+  let failures = !failures @ terminal_failures ~alpha ~c ~a ~restrict:None in
+  make_report ~relation:"⪯" ~c ~a ~stats failures
+
+(* Everywhere-eventually refinement (Section 7): arbitrary finite prefix
+   followed by a computation of A.  Unlike convergence refinement, the
+   prefix is unconstrained (no per-edge matching against A), so only
+   edges that can recur forever matter: any non-Exact non-Stutter edge on
+   a cycle defeats the eventual suffix, as does an unbounded stutter with
+   a non-terminal image.  Init refinement is still required. *)
+let everywhere_eventually_refinement ?alpha ?fair ~(c : _ Explicit.t)
+    ~(a : _ Explicit.t) () =
+  let alpha =
+    match alpha with
+    | Some t -> t
+    | None -> Abstraction.identity_table (Explicit.num_states c)
+  in
+  let classified, stats = classify ~alpha ~c ~a in
+  let n = Explicit.num_states c in
+  let succ_c = Cr_checker.Reach.of_explicit c in
+  let all_mask = Array.make n true in
+  let edge_on_cycle =
+    match fair with
+    | None ->
+        let scc = Cr_checker.Scc.compute succ_c in
+        fun i j -> Cr_checker.Scc.edge_on_cycle scc i j
+    | Some tables ->
+        let analysis = Fair.analyze tables ~succ:succ_c ~mask:all_mask in
+        fun i j -> Fair.edge_on_fair_cycle analysis i j
+  in
+  let failures = ref (initial_failures ~alpha ~c ~a) in
+  let reach = Cr_checker.Reach.reachable_from_initial c in
+  List.iter
+    (fun (i, j, cls) ->
+      if reach.(i) && cls <> Some Exact then
+        failures := Init_edge_not_exact (i, j) :: !failures
+      else
+        match cls with
+        | Some Exact | Some Stutter -> ()
+        | Some (Compression _) | None ->
+            if edge_on_cycle i j then
+              failures := Non_exact_on_cycle (i, j) :: !failures)
+    classified;
+  let stutter_succ = Array.make n [] in
+  List.iter
+    (fun (i, j, cls) ->
+      if cls = Some Stutter then stutter_succ.(i) <- j :: stutter_succ.(i))
+    classified;
+  let stutter_adj = Array.map Array.of_list stutter_succ in
+  let on_stutter_cycle =
+    match fair with
+    | None ->
+        let stutter_scc = Cr_checker.Scc.compute stutter_adj in
+        fun i -> Cr_checker.Scc.on_cycle stutter_scc i
+    | Some tables ->
+        let analysis = Fair.analyze tables ~succ:stutter_adj ~mask:all_mask in
+        fun i -> analysis.Fair.fair.(i)
+  in
+  for i = 0 to n - 1 do
+    if on_stutter_cycle i && not (Explicit.is_terminal a alpha.(i)) then
+      failures := Stutter_cycle i :: !failures
+  done;
+  let failures = !failures @ terminal_failures ~alpha ~c ~a ~restrict:None in
+  make_report ~relation:"⊑_ee" ~c ~a ~stats failures

@@ -1,0 +1,191 @@
+open Cr_semantics
+
+(* Stabilization checker (exact for finite systems).
+
+   "C is stabilizing to A" iff every computation of C has a suffix that is a
+   suffix of some computation of A starting at an initial state of A.
+
+   Let L = states of A reachable from I_A (the legitimate states).  A
+   transition (i, j) of C is *bad* when its image leaves L or is not a
+   transition of A; a terminal state of C is *bad* when its image is not a
+   reachable terminal of A.  Let Good = states of C from which no bad
+   transition source and no bad terminal is reachable.  Then C stabilizes
+   to A iff (a) the subgraph of C outside Good is acyclic, and (b) no
+   terminal of C lies outside Good.
+
+   Soundness/completeness: once a computation enters Good it only takes
+   A-transitions inside L forever (or halts at a reachable A-terminal), and
+   any path inside L from a reachable state extends a prefix of A from an
+   initial state, i.e. is a suffix of a computation of A.  Conversely a
+   cycle outside Good yields a computation that never acquires a correct
+   suffix, as does a bad terminal. *)
+
+type report = {
+  holds : bool;
+  concrete : string;
+  abstract : string;
+  legitimate : int;  (* |L| *)
+  good : int;  (* |Good| *)
+  states : int;
+  worst_case_recovery : int option;
+      (* max transitions before entering Good, when stabilizing *)
+  bad_cycle : int list option;  (* a witness cycle outside Good *)
+  bad_terminal : int option;  (* a witness terminal outside Good *)
+  good_mask : bool array;  (* per-state membership in the converged region *)
+}
+
+let pp_report fmt r =
+  if r.holds then
+    Fmt.pf fmt
+      "%s stabilizes to %s (|Sigma|=%d, |L|=%d, |Good|=%d, worst-case \
+       recovery %s)"
+      r.concrete r.abstract r.states r.legitimate r.good
+      (match r.worst_case_recovery with
+      | Some w -> Printf.sprintf "%d steps" w
+      | None -> "finite but unbounded")
+  else
+    Fmt.pf fmt "%s does NOT stabilize to %s (%s)" r.concrete r.abstract
+      (match (r.bad_cycle, r.bad_terminal) with
+      | Some _, _ -> "divergent cycle outside Good"
+      | _, Some _ -> "deadlock outside Good"
+      | None, None -> "no witness?")
+
+(* Find one cycle inside the masked region, as a witness. *)
+let find_cycle_within succ mask =
+  let n = Array.length succ in
+  let restricted =
+    Array.init n (fun i ->
+        if not mask.(i) then [||]
+        else
+          Array.of_list
+            (List.filter (fun j -> mask.(j)) (Array.to_list succ.(i))))
+  in
+  let scc = Cr_checker.Scc.compute restricted in
+  let witness = ref None in
+  for i = n - 1 downto 0 do
+    if mask.(i) && Cr_checker.Scc.on_cycle scc i then witness := Some i
+  done;
+  match !witness with
+  | None -> None
+  | Some i ->
+      (* walk within the SCC back to i *)
+      let comp = scc.Cr_checker.Scc.component.(i) in
+      let in_comp j = mask.(j) && scc.Cr_checker.Scc.component.(j) = comp in
+      let comp_succ =
+        Array.init n (fun k ->
+            if in_comp k then
+              Array.of_list (List.filter in_comp (Array.to_list restricted.(k)))
+            else [||])
+      in
+      let next =
+        Array.to_list comp_succ.(i) |> function [] -> None | j :: _ -> Some j
+      in
+      (match next with
+      | None -> Some [ i ]
+      | Some j -> (
+          match Cr_checker.Paths.shortest_path ~succ:comp_succ ~src:j ~dst:i with
+          | Some p -> Some (i :: p)
+          | None -> Some [ i ]))
+
+(* [?fair] switches divergence detection from "any cycle outside Good" to
+   "any weakly-fair cycle outside Good" (see {!Fair}); the action tables
+   must describe [c]'s transitions.
+
+   [?stutter:`Allow] admits τ-steps in the converged region: a transition
+   whose abstract image does not move is acceptable there (the suffix is
+   compared modulo stuttering), except that a cycle consisting purely of
+   stutters must sit at an [a]-terminal image — an infinite stutter
+   normalizes to a finite suffix, which must be able to end a computation
+   of [a].  Needed when a concrete system takes several micro-steps per
+   abstract step (e.g. the bytecode machine of the intro example). *)
+let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
+    ~(a : _ Explicit.t) () =
+  let alpha =
+    match alpha with
+    | Some t -> t
+    | None -> Abstraction.identity_table (Explicit.num_states c)
+  in
+  let legit = Cr_checker.Reach.reachable_from_initial a in
+  let n = Explicit.num_states c in
+  let bad_seed = Array.make n false in
+  let stutter_ok =
+    match stutter with `Allow -> true | `Forbid -> false
+  in
+  Explicit.iter_edges c (fun i j ->
+      let ai = alpha.(i) and aj = alpha.(j) in
+      let fine =
+        legit.(ai) && legit.(aj)
+        && (Explicit.has_edge a ai aj || (stutter_ok && ai = aj))
+      in
+      if not fine then bad_seed.(i) <- true);
+  (if stutter_ok then begin
+     (* pure-stutter cycles must sit at an [a]-terminal image *)
+     let stutter_succ = Array.make n [] in
+     Explicit.iter_edges c (fun i j ->
+         if alpha.(i) = alpha.(j) then stutter_succ.(i) <- j :: stutter_succ.(i));
+     let sscc = Cr_checker.Scc.compute (Array.map Array.of_list stutter_succ) in
+     for i = 0 to n - 1 do
+       if Cr_checker.Scc.on_cycle sscc i
+          && not (Explicit.is_terminal a alpha.(i))
+       then bad_seed.(i) <- true
+     done
+   end);
+  let bad_terminal = ref None in
+  for i = 0 to n - 1 do
+    if Explicit.is_terminal c i then
+      let ai = alpha.(i) in
+      if not (legit.(ai) && Explicit.is_terminal a ai) then begin
+        bad_seed.(i) <- true;
+        if !bad_terminal = None then bad_terminal := Some i
+      end
+  done;
+  let succ_c = Cr_checker.Reach.of_explicit c in
+  let seeds = Cr_checker.Reach.members bad_seed in
+  let reaches_bad = Cr_checker.Reach.backward ~succ:succ_c ~seeds in
+  let good = Array.map not reaches_bad in
+  (* A C-terminal outside Good is itself a bad seed; find one if any. *)
+  let terminal_outside =
+    match !bad_terminal with
+    | Some i -> Some i
+    | None ->
+        let w = ref None in
+        for i = n - 1 downto 0 do
+          if (not good.(i)) && Explicit.is_terminal c i then w := Some i
+        done;
+        !w
+  in
+  let cycle =
+    match fair with
+    | None -> find_cycle_within succ_c reaches_bad
+    | Some tables -> (
+        match (Fair.analyze tables ~succ:succ_c ~mask:reaches_bad).Fair.sccs with
+        | [] -> None
+        | scc :: _ -> Some scc)
+  in
+  let holds = cycle = None && terminal_outside = None in
+  let worst =
+    if holds then
+      (* Under weak fairness the non-converged region may still contain
+         (unfair) cycles; recovery is then finite but unbounded. *)
+      match
+        Cr_checker.Paths.longest_within ~succ:succ_c ~mask:reaches_bad
+      with
+      | depths -> Some (Array.fold_left max 0 depths)
+      | exception Cr_checker.Paths.Cyclic -> None
+    else None
+  in
+  {
+    holds;
+    concrete = Explicit.name c;
+    abstract = Explicit.name a;
+    legitimate = Cr_checker.Reach.count legit;
+    good = Cr_checker.Reach.count good;
+    states = n;
+    worst_case_recovery = worst;
+    bad_cycle = cycle;
+    bad_terminal = terminal_outside;
+    good_mask = good;
+  }
+
+(* Self-stabilization: A is stabilizing to A. *)
+let self_stabilizing (a : _ Explicit.t) = stabilizing_to ~c:a ~a ()

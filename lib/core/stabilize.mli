@@ -1,0 +1,39 @@
+(** Stabilization checker (exact on finite systems).
+
+    [C] is stabilizing to [A] iff every computation of [C] has a suffix
+    that is a suffix of some computation of [A] starting at an initial
+    state of [A]. *)
+
+type report = {
+  holds : bool;
+  concrete : string;
+  abstract : string;
+  legitimate : int;  (** states of [A] reachable from its initial states *)
+  good : int;  (** converged region of [C] *)
+  states : int;
+  worst_case_recovery : int option;
+      (** exact worst-case number of transitions before the converged
+          region is entered (when stabilizing) *)
+  bad_cycle : int list option;  (** witness cycle that never converges *)
+  bad_terminal : int option;  (** witness deadlock outside the converged region *)
+  good_mask : bool array;  (** per-state membership in the converged region *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val stabilizing_to :
+  ?alpha:int array ->
+  ?fair:Fair.tables ->
+  ?stutter:[ `Allow | `Forbid ] ->
+  c:'c Cr_semantics.Explicit.t ->
+  a:'a Cr_semantics.Explicit.t ->
+  unit ->
+  report
+(** Decide "C is stabilizing to A", optionally through a tabulated
+    abstraction.  With [?fair] (action tables for [c]), divergence is
+    checked over weakly-fair computations only; [worst_case_recovery] is
+    [None] when recovery is finite but unbounded.  [?stutter:`Allow]
+    compares the converged suffix modulo τ-steps (default [`Forbid]). *)
+
+val self_stabilizing : 'a Cr_semantics.Explicit.t -> report
+(** [self_stabilizing a] = [stabilizing_to ~c:a ~a ()]. *)

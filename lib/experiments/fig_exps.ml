@@ -1,0 +1,44 @@
+(* E1: the paper's Figure 1 — refinement w.r.t. initial states alone does
+   not preserve stabilization. *)
+
+open Cr_semantics
+
+let states = [ 0; 1; 2; 3; 9 ]
+(* 9 plays s* *)
+
+let fig1_a =
+  Explicit.of_system
+    (System.make ~name:"Fig1-A" ~states
+       ~step:(function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 3 ] | 9 -> [ 2 ] | _ -> [])
+       ~is_initial:(fun s -> s = 0)
+       ~pp:(fun fmt s -> if s = 9 then Fmt.pf fmt "s*" else Fmt.pf fmt "s%d" s)
+       ())
+
+let fig1_c =
+  Explicit.of_system
+    (System.make ~name:"Fig1-C" ~states
+       ~step:(function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 3 ] | _ -> [])
+       ~is_initial:(fun s -> s = 0)
+       ~pp:(fun fmt s -> if s = 9 then Fmt.pf fmt "s*" else Fmt.pf fmt "s%d" s)
+       ())
+
+type verdicts = {
+  c_refines_a_init : bool;  (* true *)
+  a_self_stabilizing : bool;  (* true *)
+  c_stabilizing_to_a : bool;  (* FALSE — the counterexample *)
+  c_convergence_refinement : bool;  (* false: ⪯ would have preserved it *)
+}
+
+let run () =
+  {
+    c_refines_a_init =
+      (Cr_core.Refine.init_refinement ~c:fig1_c ~a:fig1_a ()).Cr_core.Refine.holds;
+    a_self_stabilizing =
+      (Cr_core.Stabilize.self_stabilizing fig1_a).Cr_core.Stabilize.holds;
+    c_stabilizing_to_a =
+      (Cr_core.Stabilize.stabilizing_to ~c:fig1_c ~a:fig1_a ())
+        .Cr_core.Stabilize.holds;
+    c_convergence_refinement =
+      (Cr_core.Refine.convergence_refinement ~c:fig1_c ~a:fig1_a ())
+        .Cr_core.Refine.holds;
+  }

@@ -1,0 +1,14 @@
+(** E1: the paper's Figure 1 counterexample — refinement with respect to
+    initial states alone does not preserve stabilization. *)
+
+val fig1_a : int Cr_semantics.Explicit.t
+val fig1_c : int Cr_semantics.Explicit.t
+
+type verdicts = {
+  c_refines_a_init : bool;
+  a_self_stabilizing : bool;
+  c_stabilizing_to_a : bool;
+  c_convergence_refinement : bool;
+}
+
+val run : unit -> verdicts

@@ -1,0 +1,4 @@
+(* Structural equality of bytecode listings (addresses and instructions). *)
+
+let listings_equal (l1 : Cr_vm.Instr.listing) (l2 : Cr_vm.Instr.listing) =
+  l1 = l2

@@ -1,0 +1,3 @@
+(** Structural equality of bytecode listings. *)
+
+val listings_equal : Cr_vm.Instr.listing -> Cr_vm.Instr.listing -> bool

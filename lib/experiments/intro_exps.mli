@@ -1,0 +1,29 @@
+(** The introduction's motivating examples as runnable experiments
+    (DESIGN.md E2, E3). *)
+
+type vm_verdicts = {
+  compiler_matches_paper : bool;
+  source_stabilizes : bool;
+  bytecode_stabilizes : bool;
+  bytecode_refines_init : bool;
+  bad_terminal : Cr_vm.Machine.state option;
+}
+
+val vm_experiment : unit -> vm_verdicts
+(** E2: the Java compiler example — source stabilizes to x=0, the
+    compiled bytecode does not (witness: a halted state with x<>0). *)
+
+type bidding_verdicts = {
+  impl_refines_init : bool;
+  impl_convergence : bool;
+  impl_blocked_terminal : int list option;
+  wrapped_convergence : bool;
+  wrapped_not_everywhere : bool;
+  spec_diff_bound_holds : bool;
+  impl_diff_bound_fails : bool;
+}
+
+val bidding_experiment : ?b:int -> ?k:int -> unit -> bidding_verdicts
+(** E3: the bidding server — the sorted-list implementation refines the
+    spec fault-free but loses its single-corruption tolerance; the
+    graybox repair wrapper restores it. *)

@@ -1,0 +1,136 @@
+(* Named registry of the systems built in this repository, for the
+   command-line driver and the examples. *)
+
+open Cr_guarded
+
+type entry = {
+  name : string;
+  describe : string;
+  program : int -> Program.t;  (* parameterized by ring size n *)
+  spec : int -> Program.t;  (* the specification it stabilizes to *)
+  alpha : int -> (Layout.state, Layout.state) Cr_semantics.Abstraction.t;
+  converged : int -> Layout.state -> bool;
+  render : int -> Layout.state -> string;  (* one-line picture for traces *)
+}
+
+let id_alpha _n = Cr_semantics.Abstraction.identity ()
+
+let entries : entry list =
+  [
+    {
+      name = "dijkstra3";
+      describe = "Dijkstra's 3-state stabilizing token ring (Section 5)";
+      program = Cr_tokenring.Btr3.dijkstra3;
+      spec = Cr_tokenring.Btr.program;
+      alpha = Cr_tokenring.Btr3.alpha;
+      converged = Cr_tokenring.Btr3.one_token;
+      render = (fun n s -> Cr_tokenring.Render.counters3_line n s);
+    };
+    {
+      name = "dijkstra4";
+      describe = "Dijkstra's 4-state stabilizing token ring (Section 4)";
+      program = Cr_tokenring.Btr4.dijkstra4;
+      spec = Cr_tokenring.Btr.program;
+      alpha = Cr_tokenring.Btr4.alpha;
+      converged = Cr_tokenring.Btr4.one_token;
+      render = (fun n s -> Cr_tokenring.Render.tokens_line n (Cr_tokenring.Btr4.to_tokens n s));
+    };
+    {
+      name = "c1";
+      describe = "C1, the 4-state concrete refinement of BTR (Section 4.2)";
+      program = Cr_tokenring.Btr4.c1;
+      spec = Cr_tokenring.Btr.program;
+      alpha = Cr_tokenring.Btr4.alpha;
+      converged = Cr_tokenring.Btr4.one_token;
+      render = (fun n s -> Cr_tokenring.Render.tokens_line n (Cr_tokenring.Btr4.to_tokens n s));
+    };
+    {
+      name = "c2";
+      describe = "C2, the 3-state concrete refinement of BTR_3 (Section 5.2)";
+      program = Cr_tokenring.Btr3.c2;
+      spec = Cr_tokenring.Btr.program;
+      alpha = Cr_tokenring.Btr3.alpha;
+      converged = Cr_tokenring.Btr3.one_token;
+      render = (fun n s -> Cr_tokenring.Render.counters3_line n s);
+    };
+    {
+      name = "c2-wrapped";
+      describe = "C2 [] W1'' [] W2' (Theorem 11's composition)";
+      program = Cr_tokenring.Btr3.c2_wrapped;
+      spec = Cr_tokenring.Btr.program;
+      alpha = Cr_tokenring.Btr3.alpha;
+      converged = Cr_tokenring.Btr3.one_token;
+      render = (fun n s -> Cr_tokenring.Render.counters3_line n s);
+    };
+    {
+      name = "c3";
+      describe = "C3, the new 3-state implementation (Section 6)";
+      program = Cr_tokenring.C3_system.c3;
+      spec = Cr_tokenring.Btr.program;
+      alpha = Cr_tokenring.C3_system.alpha;
+      converged = Cr_tokenring.Btr3.one_token;
+      render = (fun n s -> Cr_tokenring.Render.counters3_line n s);
+    };
+    {
+      name = "new3";
+      describe = "C3 [] W1'' [] W2', the new 3-state stabilizing system";
+      program = Cr_tokenring.C3_system.new3;
+      spec = Cr_tokenring.Btr.program;
+      alpha = Cr_tokenring.C3_system.alpha;
+      converged = Cr_tokenring.Btr3.one_token;
+      render = (fun n s -> Cr_tokenring.Render.counters3_line n s);
+    };
+    {
+      name = "btr";
+      describe = "the abstract bidirectional token ring (fault-intolerant)";
+      program = Cr_tokenring.Btr.program;
+      spec = Cr_tokenring.Btr.program;
+      alpha = id_alpha;
+      converged = Cr_tokenring.Btr.invariant;
+      render = (fun n s -> Cr_tokenring.Render.tokens_line n s);
+    };
+    {
+      name = "btr-wrapped";
+      describe = "BTR [] W1 [] W2, union semantics (Theorem 6's subject)";
+      program = Cr_tokenring.Btr.wrapped;
+      spec = Cr_tokenring.Btr.program;
+      alpha = id_alpha;
+      converged = Cr_tokenring.Btr.invariant;
+      render = (fun n s -> Cr_tokenring.Render.tokens_line n s);
+    };
+    {
+      name = "kstate";
+      describe = "Dijkstra's K-state ring with K = N+1 (full version)";
+      program = (fun n -> Cr_tokenring.Kstate.program ~n ~k:(n + 1));
+      spec = Cr_tokenring.Utr.program;
+      alpha = (fun n -> Cr_tokenring.Kstate.alpha ~n ~k:(n + 1));
+      converged = (fun n s -> Cr_tokenring.Kstate.token_count n s = 1);
+      render = (fun n s -> Cr_tokenring.Render.utr_line (Cr_tokenring.Kstate.to_tokens n s));
+    };
+    {
+      name = "rw-dijkstra3";
+      describe =
+        "read/write atomicity refinement of Dijkstra-3 (extension E17)";
+      program = Cr_tokenring.Rw_atomicity.program;
+      spec = Cr_tokenring.Btr.program;
+      alpha = Cr_tokenring.Rw_atomicity.alpha;
+      converged =
+        (fun n s ->
+          Cr_tokenring.Btr.token_count n (Cr_tokenring.Rw_atomicity.to_tokens n s)
+          = 1);
+      render = (fun n s -> Cr_tokenring.Render.counters3_line n (Cr_tokenring.Rw_atomicity.to_counters n s));
+    };
+    {
+      name = "utr";
+      describe = "the abstract unidirectional token ring (fault-intolerant)";
+      program = Cr_tokenring.Utr.program;
+      spec = Cr_tokenring.Utr.program;
+      alpha = id_alpha;
+      converged = (fun _n s -> Cr_tokenring.Utr.invariant s);
+      render = (fun _n s -> Cr_tokenring.Render.utr_line s);
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) entries
+
+let names () = List.map (fun e -> e.name) entries

@@ -1,0 +1,18 @@
+(** Named registry of the systems built in this repository, for the
+    crcheck CLI and the examples. *)
+
+open Cr_guarded
+
+type entry = {
+  name : string;
+  describe : string;
+  program : int -> Program.t;
+  spec : int -> Program.t;
+  alpha : int -> (Layout.state, Layout.state) Cr_semantics.Abstraction.t;
+  converged : int -> Layout.state -> bool;
+  render : int -> Layout.state -> string;
+}
+
+val entries : entry list
+val find : string -> entry option
+val names : unit -> string list

@@ -1,0 +1,20 @@
+(** Printing of every experiment table (DESIGN.md / EXPERIMENTS.md);
+    shared by [bench/main.exe] and [crcheck experiments]. *)
+
+val all : ?ns:int list -> unit -> unit
+(** Print every table, sweeping ring sizes over [ns] (default 2..4). *)
+
+val table_fig1 : unit -> unit
+val table_vm : unit -> unit
+val table_bidding : unit -> unit
+val table_rewriting : int list -> unit
+val table_kstate : int list -> unit
+val table_compression : unit -> unit
+val table_stutter : unit -> unit
+val table_cost : int list -> unit
+val table_synchronous : int list -> unit
+val table_rw : unit -> unit
+val table_hitting : int list -> unit
+val table_spans : unit -> unit
+val table_wrapper_refinement : int list -> unit
+val table_mutex : int list -> unit

@@ -1,0 +1,30 @@
+(** Fault spans: reachability under a bounded number of transient faults
+    interleaved with program execution, and the recovery cost from each
+    span (extension experiment E19). *)
+
+open Cr_guarded
+
+val min_faults :
+  succ:int array array ->
+  fault_succ:int array array ->
+  sources:int list ->
+  int array
+(** 0-1 BFS: minimal number of fault transitions needed to reach each
+    state from the sources ([-1] = unreachable). *)
+
+type row = {
+  k : int;
+  span : int;
+  worst_recovery : int;
+  expected_recovery : float;
+}
+
+val analyze :
+  ?max_k:int ->
+  Program.t ->
+  spec:Layout.state Cr_semantics.Explicit.t ->
+  abstraction:(Layout.state, Layout.state) Cr_semantics.Abstraction.t ->
+  row list
+(** One row per fault budget k = 0, 1, ... until the span saturates (or
+    [max_k]).  Raises [Invalid_argument] if the program is not
+    stabilizing. *)

@@ -1,0 +1,36 @@
+(* A guarded command: guard -> assignment, with metadata identifying the
+   owning process and the written slots (used by the synchronous daemon
+   and by pretty-printers). *)
+
+type state = Layout.state
+
+type t = {
+  label : string;
+  proc : int;  (* owning process; -1 for global wrappers *)
+  writes : int list;  (* slots this action may write *)
+  guard : state -> bool;
+  effect : state -> state;  (* must be pure: returns a fresh array *)
+}
+
+let make ~label ?(proc = -1) ?(writes = []) ~guard ~effect () =
+  { label; proc; writes; guard; effect }
+
+let label t = t.label
+let proc t = t.proc
+let writes t = t.writes
+
+let enabled t s = t.guard s
+
+(* Fire the action; [None] when disabled or when the effect is a no-op
+   (no-op steps are stuttering, cf. DESIGN.md section 2). *)
+let fire t s =
+  if not (t.guard s) then None
+  else
+    let s' = t.effect s in
+    if s' = s then None else Some s'
+
+(* Copy-on-write assignment helper for effects. *)
+let set (s : state) (updates : (int * int) list) : state =
+  let s' = Array.copy s in
+  List.iter (fun (i, v) -> s'.(i) <- v) updates;
+  s'

@@ -1,0 +1,33 @@
+(** Guarded commands: [guard -> assignment]. *)
+
+type state = Layout.state
+
+type t = {
+  label : string;
+  proc : int;  (** owning process, [-1] for global wrappers *)
+  writes : int list;  (** slots the effect may write *)
+  guard : state -> bool;
+  effect : state -> state;
+}
+
+val make :
+  label:string ->
+  ?proc:int ->
+  ?writes:int list ->
+  guard:(state -> bool) ->
+  effect:(state -> state) ->
+  unit ->
+  t
+
+val label : t -> string
+val proc : t -> int
+val writes : t -> int list
+
+val enabled : t -> state -> bool
+
+val fire : t -> state -> state option
+(** [None] when the guard is false or the effect is a no-op (no-op steps
+    are stuttering and generate no transition). *)
+
+val set : state -> (int * int) list -> state
+(** Copy-on-write multi-assignment, for building effects. *)

@@ -1,0 +1,80 @@
+(* Variable layout of a guarded-command program: a fixed list of named
+   variables, each over a finite domain 0..dom-1.  A program state is an
+   int array indexed by variable slot.  A domain of 1 encodes a variable
+   fixed at 0 (e.g. the undefined tokens of the paper's BTR, or up.0/up.N
+   in BTR_4). *)
+
+type var = { vname : string; dom : int }
+
+type t = {
+  vars : var array;
+  by_name : (string, int) Hashtbl.t;
+}
+
+type state = int array
+
+let make vars_list =
+  let vars =
+    Array.of_list
+      (List.map
+         (fun (vname, dom) ->
+           if dom < 1 then invalid_arg ("Layout.make: empty domain for " ^ vname);
+           { vname; dom })
+         vars_list)
+  in
+  let by_name = Hashtbl.create (2 * Array.length vars + 1) in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem by_name v.vname then
+        invalid_arg ("Layout.make: duplicate variable " ^ v.vname);
+      Hashtbl.add by_name v.vname i)
+    vars;
+  { vars; by_name }
+
+let num_vars t = Array.length t.vars
+
+let dom t i = t.vars.(i).dom
+
+let var_name t i = t.vars.(i).vname
+
+let slot t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None -> invalid_arg ("Layout.slot: unknown variable " ^ name)
+
+let num_states t =
+  Array.fold_left (fun acc v -> acc * v.dom) 1 t.vars
+
+(* Enumerate all states in mixed-radix order (slot 0 fastest). *)
+let enumerate t =
+  let n = num_vars t in
+  let total = num_states t in
+  let decode k =
+    let s = Array.make n 0 in
+    let k = ref k in
+    for i = 0 to n - 1 do
+      let d = t.vars.(i).dom in
+      s.(i) <- !k mod d;
+      k := !k / d
+    done;
+    s
+  in
+  List.init total decode
+
+let valid t (s : state) =
+  Array.length s = num_vars t
+  &&
+  let ok = ref true in
+  Array.iteri (fun i v -> if s.(i) < 0 || s.(i) >= v.dom then ok := false) t.vars;
+  !ok
+
+let pp_state t fmt (s : state) =
+  let items =
+    Array.to_list (Array.mapi (fun i v -> Printf.sprintf "%s=%d" v.vname s.(i)) t.vars)
+  in
+  (* Hide domain-1 (fixed) variables to keep states readable. *)
+  let items =
+    List.filteri (fun i _ -> t.vars.(i).dom > 1) (List.mapi (fun i x -> (i, x)) items)
+    |> List.map snd
+  in
+  Fmt.pf fmt "{%s}" (String.concat " " items)

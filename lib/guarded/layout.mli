@@ -1,0 +1,32 @@
+(** Variable layouts for guarded-command programs.
+
+    A layout fixes the (ordered) set of named variables and their finite
+    domains [0..dom-1]; a program state is an [int array] indexed by
+    variable slot.  A domain of size 1 encodes a variable fixed at 0 —
+    used for the undefined/pinned tokens of the paper's ring systems. *)
+
+type t
+
+type state = int array
+
+val make : (string * int) list -> t
+(** [make [(name, dom); ...]].  Raises [Invalid_argument] on duplicate
+    names or empty domains. *)
+
+val num_vars : t -> int
+val dom : t -> int -> int
+val var_name : t -> int -> string
+
+val slot : t -> string -> int
+(** Slot index of a variable name.  Raises [Invalid_argument] if absent. *)
+
+val num_states : t -> int
+(** Product of the domain sizes. *)
+
+val enumerate : t -> state list
+(** All states, in mixed-radix order (slot 0 fastest). *)
+
+val valid : t -> state -> bool
+
+val pp_state : t -> Format.formatter -> state -> unit
+(** Prints [{x=0 y=1 ...}], hiding fixed (domain-1) variables. *)

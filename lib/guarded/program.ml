@@ -1,0 +1,161 @@
+(* A guarded-command program over a layout: the uniform substrate for
+   every system in the paper (rings, wrappers and their compositions). *)
+
+type state = Layout.state
+
+type t = {
+  name : string;
+  layout : Layout.t;
+  actions : Action.t list;
+  initial : state -> bool;
+}
+
+let make ~name ~layout ~actions ~initial = { name; layout; actions; initial }
+
+let name t = t.name
+let layout t = t.layout
+let actions t = t.actions
+let initial t = t.initial
+let rename n t = { t with name = n }
+let with_initial initial t = { t with initial }
+
+let same_layout t1 t2 =
+  (* Layouts are compared structurally via their printed variables. *)
+  Layout.num_vars t1.layout = Layout.num_vars t2.layout
+  && List.for_all
+       (fun i ->
+         Layout.dom t1.layout i = Layout.dom t2.layout i
+         && String.equal (Layout.var_name t1.layout i) (Layout.var_name t2.layout i))
+       (List.init (Layout.num_vars t1.layout) (fun i -> i))
+
+(* The paper's box operator []: union of the actions.  Initial states are
+   those of the left (base) operand. *)
+let box ?name t1 t2 =
+  if not (same_layout t1 t2) then
+    invalid_arg "Program.box: incompatible layouts";
+  let name = match name with Some n -> n | None -> t1.name ^ "[]" ^ t2.name in
+  { t1 with name; actions = t1.actions @ t2.actions }
+
+let box_list ?name base wrappers =
+  let t = List.fold_left (fun acc w -> box acc w) base wrappers in
+  match name with Some n -> { t with name = n } | None -> t
+
+let enabled_actions t s = List.filter (fun a -> Action.enabled a s) t.actions
+
+(* Transitions enabled at [s]: (action, successor) pairs, no-ops dropped. *)
+let firings t s =
+  List.filter_map
+    (fun a -> Option.map (fun s' -> (a, s')) (Action.fire a s))
+    t.actions
+
+let step t s = List.map snd (firings t s)
+
+let to_system ?(priority_of : (Action.t -> bool) option) t =
+  let step =
+    match priority_of with
+    | None -> step t
+    | Some is_wrapper ->
+        (* Wrapper actions preempt base actions wherever one can fire. *)
+        fun s ->
+          let fs = firings t s in
+          let wrapper_moves =
+            List.filter_map
+              (fun (a, s') -> if is_wrapper a then Some s' else None)
+              fs
+          in
+          if wrapper_moves <> [] then wrapper_moves else List.map snd fs
+  in
+  Cr_semantics.System.make ~name:t.name
+    ~states:(Layout.enumerate t.layout)
+    ~step ~is_initial:t.initial
+    ~pp:(Layout.pp_state t.layout)
+    ()
+
+let to_explicit ?priority_of t =
+  Cr_semantics.Explicit.of_system (to_system ?priority_of t)
+
+(* Box with wrapper priority, compiled directly to a system: wrapper
+   actions preempt the base program's actions. *)
+let box_priority ?name base wrapper =
+  if not (same_layout base wrapper) then
+    invalid_arg "Program.box_priority: incompatible layouts";
+  let name =
+    match name with Some n -> n | None -> base.name ^ "[]!" ^ wrapper.name
+  in
+  let combined = { base with name; actions = base.actions @ wrapper.actions } in
+  (* classify by physical identity: the combined program shares the very
+     action values of its operands, and labels may collide between base
+     and wrapper *)
+  let is_wrapper a = List.memq a wrapper.actions in
+  (combined, is_wrapper)
+
+(* Synchronous (distributed-daemon) semantics: in each step, every process
+   with an enabled action fires simultaneously; guards read the old state
+   and the declared [writes] of each chosen action are merged (first
+   enabled action per process).  The resulting system is deterministic.
+   Only meaningful for programs whose actions write their own process's
+   variables (the paper's concrete systems). *)
+let synchronous_step t s =
+  let seen = Hashtbl.create 8 in
+  let chosen =
+    List.filter
+      (fun (a, _) ->
+        let pr = Action.proc a in
+        if Hashtbl.mem seen pr then false
+        else begin
+          Hashtbl.add seen pr ();
+          true
+        end)
+      (firings t s)
+  in
+  match chosen with
+  | [] -> None
+  | _ ->
+      let s' = Array.copy s in
+      List.iter
+        (fun (a, target) ->
+          List.iter (fun slot -> s'.(slot) <- target.(slot)) (Action.writes a))
+        chosen;
+      if s' = s then None else Some s'
+
+let to_system_synchronous t =
+  Cr_semantics.System.make
+    ~name:(t.name ^ "[sync]")
+    ~states:(Layout.enumerate t.layout)
+    ~step:(fun s ->
+      match synchronous_step t s with None -> [] | Some s' -> [ s' ])
+    ~is_initial:t.initial
+    ~pp:(Layout.pp_state t.layout)
+    ()
+
+let to_explicit_synchronous t =
+  Cr_semantics.Explicit.of_system (to_system_synchronous t)
+
+(* Reachability closure at the program level, used to define the initial
+   states of concrete systems as the orbit of canonical legitimate
+   configurations (the paper's "initial states follow from those of BTR
+   using the mapping"). *)
+let reachable_from t seeds =
+  let seen : (state, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let push s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.replace seen s ();
+      Queue.push s queue
+    end
+  in
+  List.iter push seeds;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter push (step t s)
+  done;
+  seen
+
+let with_initial_closure ~seeds t =
+  let closure = lazy (reachable_from t seeds) in
+  { t with initial = (fun s -> Hashtbl.mem (Lazy.force closure) s) }
+
+let pp fmt t =
+  Fmt.pf fmt "@[<v>program %s:@,%a@]" t.name
+    (Fmt.list ~sep:Fmt.cut (fun fmt a -> Fmt.pf fmt "  %s" (Action.label a)))
+    t.actions

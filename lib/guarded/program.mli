@@ -1,0 +1,70 @@
+(** Guarded-command programs: the substrate for every system in the paper.
+
+    A program is a set of guarded actions over a {!Layout}; its semantics
+    is the finite automaton whose transitions are all state-changing
+    firings of enabled actions (interleaving / serial daemon). *)
+
+type state = Layout.state
+
+type t
+
+val make :
+  name:string ->
+  layout:Layout.t ->
+  actions:Action.t list ->
+  initial:(state -> bool) ->
+  t
+
+val name : t -> string
+val layout : t -> Layout.t
+val actions : t -> Action.t list
+val initial : t -> state -> bool
+val rename : string -> t -> t
+val with_initial : (state -> bool) -> t -> t
+
+val same_layout : t -> t -> bool
+
+val box : ?name:string -> t -> t -> t
+(** The paper's [] operator: union of the action sets over a common
+    layout; initial states come from the left operand. *)
+
+val box_list : ?name:string -> t -> t list -> t
+(** [box_list base [w1; w2; ...]] = [base [] w1 [] w2 [] ...]. *)
+
+val box_priority : ?name:string -> t -> t -> t * (Action.t -> bool)
+(** Composition where the wrapper's actions preempt the base program.
+    Returns the combined program and the wrapper predicate; pass the
+    latter to {!to_system}/{!to_explicit} as [priority_of]. *)
+
+val enabled_actions : t -> state -> Action.t list
+
+val firings : t -> state -> (Action.t * state) list
+(** All (action, successor) pairs at a state; no-op firings dropped. *)
+
+val step : t -> state -> state list
+
+val to_system :
+  ?priority_of:(Action.t -> bool) -> t -> state Cr_semantics.System.t
+
+val to_explicit :
+  ?priority_of:(Action.t -> bool) -> t -> state Cr_semantics.Explicit.t
+
+val synchronous_step : t -> state -> state option
+(** One synchronous (distributed-daemon) step: every process with an
+    enabled action fires simultaneously, guards reading the old state and
+    the declared [writes] merged.  [None] at fixpoints. *)
+
+val to_system_synchronous : t -> state Cr_semantics.System.t
+(** The (deterministic) synchronous semantics as a system. *)
+
+val to_explicit_synchronous : t -> state Cr_semantics.Explicit.t
+
+val reachable_from : t -> state list -> (state, unit) Hashtbl.t
+(** All states reachable from the seeds under the program's transitions. *)
+
+val with_initial_closure : seeds:state list -> t -> t
+(** Replace the initial states by the (lazily computed) reachability
+    closure of [seeds] — the orbit of canonical legitimate
+    configurations. *)
+
+val pp : Format.formatter -> t -> unit

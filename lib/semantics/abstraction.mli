@@ -1,0 +1,25 @@
+(** Abstraction functions relating a concrete state space to an abstract
+    one (Section 2.3 of the paper): total mappings from Sigma_C onto
+    Sigma_A. *)
+
+type ('c, 'a) t
+
+val make : name:string -> ('c -> 'a) -> ('c, 'a) t
+val identity : ?name:string -> unit -> ('a, 'a) t
+val name : (_, _) t -> string
+val apply : ('c, 'a) t -> 'c -> 'a
+val compose : ?name:string -> ('b, 'a) t -> ('c, 'b) t -> ('c, 'a) t
+
+exception Not_total of string
+
+val tabulate : ('c, 'a) t -> 'c Explicit.t -> 'a Explicit.t -> int array
+(** [tabulate alpha c a] is the index table [t] with [t.(i)] the abstract
+    index of the image of concrete state [i].  Raises {!Not_total} if some
+    image is not a state of [a] (the mapping must be total). *)
+
+val is_onto : int array -> num_abstract:int -> bool
+(** Surjectivity of a tabulated abstraction. *)
+
+val identity_table : int -> int array
+
+val map_path : int array -> Computation.path -> Computation.path

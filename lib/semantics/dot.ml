@@ -1,0 +1,35 @@
+(* Graphviz (DOT) export of explicit systems, with optional state-class
+   colouring (e.g. legitimate / converged regions) for visual inspection
+   of small instances. *)
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_string ?(highlight = fun _ -> None) ?(max_states = 4096)
+    (e : 'a Explicit.t) =
+  let n = Explicit.num_states e in
+  if n > max_states then
+    invalid_arg
+      (Printf.sprintf "Dot.to_string: %d states exceed max_states=%d" n
+         max_states);
+  let out = Buffer.create (64 * n) in
+  Buffer.add_string out
+    (Printf.sprintf "digraph \"%s\" {\n" (escape (Explicit.name e)));
+  Buffer.add_string out "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for i = 0 to n - 1 do
+    let label = escape (Explicit.state_to_string e i) in
+    let attrs = ref [ Printf.sprintf "label=\"%s\"" label ] in
+    if Explicit.is_initial e i then attrs := "penwidth=2" :: !attrs;
+    (match highlight i with
+    | Some colour ->
+        attrs := Printf.sprintf "style=filled, fillcolor=\"%s\"" colour :: !attrs
+    | None -> ());
+    Buffer.add_string out
+      (Printf.sprintf "  s%d [%s];\n" i (String.concat ", " !attrs))
+  done;
+  Explicit.iter_edges e (fun i j ->
+      Buffer.add_string out (Printf.sprintf "  s%d -> s%d;\n" i j));
+  Buffer.add_string out "}\n";
+  Buffer.contents out
+
+let write ?highlight ?max_states out e =
+  output_string out (to_string ?highlight ?max_states e)

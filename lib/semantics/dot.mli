@@ -1,0 +1,19 @@
+(** Graphviz (DOT) export of explicit systems.
+
+    [highlight i] may return a fill colour for state [i] — used to paint
+    legitimate / converged regions.  Initial states are drawn with a
+    thick border.  Refuses to render systems larger than [max_states]
+    (default 4096). *)
+
+val to_string :
+  ?highlight:(int -> string option) ->
+  ?max_states:int ->
+  'a Explicit.t ->
+  string
+
+val write :
+  ?highlight:(int -> string option) ->
+  ?max_states:int ->
+  out_channel ->
+  'a Explicit.t ->
+  unit

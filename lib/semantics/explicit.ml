@@ -1,0 +1,156 @@
+(* Indexed explicit-state representation of a system.  States are numbered
+   0..n-1; the transition relation is an adjacency array with self-loops
+   removed (no-op steps are stuttering, dropped per DESIGN.md section 2)
+   and duplicate edges deduplicated. *)
+
+exception Unknown_state of string
+
+type 'a t = {
+  name : string;
+  states : 'a array;
+  lookup : ('a, int) Hashtbl.t;
+  succ : int array array;
+  pred : int array array;
+  is_initial : bool array;
+  initials : int array;
+  pp_state : Format.formatter -> 'a -> unit;
+}
+
+let name t = t.name
+
+let rename name t = { t with name }
+
+let num_states t = Array.length t.states
+
+let state t i = t.states.(i)
+
+let pp_state t fmt i = t.pp_state fmt t.states.(i)
+
+let state_to_string t i = Fmt.str "%a" (fun fmt -> t.pp_state fmt) t.states.(i)
+
+let find_opt t s = Hashtbl.find_opt t.lookup s
+
+let find t s =
+  match Hashtbl.find_opt t.lookup s with
+  | Some i -> i
+  | None -> raise (Unknown_state t.name)
+
+let successors t i = t.succ.(i)
+
+let predecessors t i = t.pred.(i)
+
+let is_initial t i = t.is_initial.(i)
+
+let initials t = t.initials
+
+let is_terminal t i = Array.length t.succ.(i) = 0
+
+let has_edge t i j = Array.exists (fun k -> k = j) t.succ.(i)
+
+let num_transitions t =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 t.succ
+
+let iter_edges t f =
+  Array.iteri (fun i js -> Array.iter (fun j -> f i j) js) t.succ
+
+let fold_edges t f acc =
+  let acc = ref acc in
+  iter_edges t (fun i j -> acc := f i j !acc);
+  !acc
+
+let sorted_dedup l =
+  let l = List.sort_uniq compare l in
+  Array.of_list l
+
+let transpose n succ =
+  let preds = Array.make n [] in
+  Array.iteri (fun i js -> Array.iter (fun j -> preds.(j) <- i :: preds.(j)) js) succ;
+  Array.map sorted_dedup preds
+
+let of_edge_lists ~name ~states ~pp_state ~is_initial ~succ_lists =
+  let n = Array.length states in
+  let lookup = Hashtbl.create (2 * n + 1) in
+  Array.iteri
+    (fun i s ->
+      if Hashtbl.mem lookup s then
+        invalid_arg
+          (Printf.sprintf "Explicit: duplicate state in enumeration of %s" name);
+      Hashtbl.add lookup s i)
+    states;
+  let succ =
+    Array.mapi
+      (fun i js -> sorted_dedup (List.filter (fun j -> j <> i) js))
+      succ_lists
+  in
+  let pred = transpose n succ in
+  let is_initial_arr = Array.map is_initial states in
+  let initials =
+    Array.of_list
+      (List.filter
+         (fun i -> is_initial_arr.(i))
+         (List.init n (fun i -> i)))
+  in
+  { name; states; lookup; succ; pred; is_initial = is_initial_arr; initials;
+    pp_state }
+
+let of_system (sys : 'a System.t) =
+  let states = Array.of_list sys.System.states in
+  let n = Array.length states in
+  let lookup = Hashtbl.create (2 * n + 1) in
+  Array.iteri
+    (fun i s ->
+      if Hashtbl.mem lookup s then
+        invalid_arg
+          (Printf.sprintf "Explicit: duplicate state in enumeration of %s"
+             sys.System.name);
+      Hashtbl.add lookup s i)
+    states;
+  let to_index s =
+    match Hashtbl.find_opt lookup s with
+    | Some i -> i
+    | None ->
+        raise
+          (Unknown_state
+             (Fmt.str "%s: step produced a state outside Sigma: %a"
+                sys.System.name sys.System.pp s))
+  in
+  let succ_lists =
+    Array.map (fun s -> List.map to_index (sys.System.step s)) states
+  in
+  of_edge_lists ~name:sys.System.name ~states ~pp_state:sys.System.pp
+    ~is_initial:sys.System.is_initial ~succ_lists
+
+(* Box on explicit systems over the same enumeration. *)
+let same_states t1 t2 =
+  Array.length t1.states = Array.length t2.states
+  && (let ok = ref true in
+      Array.iteri (fun i s -> if not (s = t2.states.(i)) then ok := false) t1.states;
+      !ok)
+
+let box ?name t1 t2 =
+  if not (same_states t1 t2) then
+    invalid_arg "Explicit.box: systems do not share a state space";
+  let name = match name with Some n -> n | None -> t1.name ^ "[]" ^ t2.name in
+  let succ_lists =
+    Array.init (Array.length t1.states) (fun i ->
+        Array.to_list t1.succ.(i) @ Array.to_list t2.succ.(i))
+  in
+  of_edge_lists ~name ~states:t1.states ~pp_state:t1.pp_state
+    ~is_initial:(fun s -> t1.is_initial.(Hashtbl.find t1.lookup s))
+    ~succ_lists
+
+let same_transitions t1 t2 =
+  same_states t1 t2
+  && (let ok = ref true in
+      Array.iteri (fun i js -> if js <> t2.succ.(i) then ok := false) t1.succ;
+      !ok)
+
+let with_initials t pred =
+  let is_initial_arr = Array.map pred t.states in
+  let initials =
+    Array.of_list
+      (List.filter
+         (fun i -> is_initial_arr.(i))
+         (List.init (Array.length t.states) (fun i -> i)))
+  in
+  { t with is_initial = is_initial_arr; initials }

@@ -1,0 +1,59 @@
+(** Explicit, integer-indexed transition graphs.
+
+    This is the workhorse representation used by the model checker and the
+    refinement checkers.  States are indices [0..num_states-1]; the
+    transition relation is stored as sorted adjacency arrays.  Self-loops
+    are removed on construction: a step whose effect is the identity is
+    stuttering and generates no transition (DESIGN.md, section 2). *)
+
+exception Unknown_state of string
+(** Raised when a successor function escapes the enumerated state space, or
+    {!find} is applied to a state outside Sigma. *)
+
+type 'a t
+
+val of_system : 'a System.t -> 'a t
+(** Compile a symbolic system.  Raises [Invalid_argument] on duplicate
+    states in the enumeration and {!Unknown_state} if [step] escapes it. *)
+
+val of_edge_lists :
+  name:string ->
+  states:'a array ->
+  pp_state:(Format.formatter -> 'a -> unit) ->
+  is_initial:('a -> bool) ->
+  succ_lists:int list array ->
+  'a t
+(** Low-level constructor from adjacency lists (indices). *)
+
+val name : _ t -> string
+val rename : string -> 'a t -> 'a t
+val num_states : _ t -> int
+val num_transitions : _ t -> int
+val state : 'a t -> int -> 'a
+val find : 'a t -> 'a -> int
+val find_opt : 'a t -> 'a -> int option
+val successors : _ t -> int -> int array
+val predecessors : _ t -> int -> int array
+val is_initial : _ t -> int -> bool
+val initials : _ t -> int array
+val is_terminal : _ t -> int -> bool
+val has_edge : _ t -> int -> int -> bool
+val iter_edges : _ t -> (int -> int -> unit) -> unit
+val fold_edges : _ t -> (int -> int -> 'acc -> 'acc) -> 'acc -> 'acc
+
+val pp_state : 'a t -> Format.formatter -> int -> unit
+val state_to_string : 'a t -> int -> string
+
+val same_states : 'a t -> 'a t -> bool
+(** Do both systems enumerate the same Sigma in the same order? *)
+
+val same_transitions : 'a t -> 'a t -> bool
+(** {!same_states} and identical transition relations (used for the
+    paper's "the above system is equal to Dijkstra's ..." claims). *)
+
+val box : ?name:string -> 'a t -> 'a t -> 'a t
+(** Union of transition relations over a shared enumeration; initial states
+    are those of the left operand. *)
+
+val with_initials : 'a t -> ('a -> bool) -> 'a t
+(** Replace the initial-state predicate. *)

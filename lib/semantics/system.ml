@@ -1,0 +1,45 @@
+(* Symbolic description of a finite-state automaton (Sigma, T, I), the
+   paper's notion of a "system" (Section 2).  The state space is given by an
+   explicit enumeration; transitions by a successor function.  Symbolic
+   specs are compiled to indexed graphs by {!Explicit}. *)
+
+type 'a t = {
+  name : string;
+  states : 'a list;
+  step : 'a -> 'a list;
+  is_initial : 'a -> bool;
+  pp : Format.formatter -> 'a -> unit;
+}
+
+let make ~name ~states ~step ~is_initial ?(pp = fun fmt _ -> Format.pp_print_string fmt "<state>") () =
+  { name; states; step; is_initial; pp }
+
+let name t = t.name
+
+let rename name t = { t with name }
+
+(* Union of automata: the paper's box operator [] over a shared state
+   space.  The state enumeration is taken from the left operand; callers
+   must ensure both operands range over the same Sigma. *)
+let box ?name t1 t2 =
+  let name = match name with Some n -> n | None -> t1.name ^ "[]" ^ t2.name in
+  let step s = t1.step s @ t2.step s in
+  { name; states = t1.states; step; is_initial = t1.is_initial; pp = t1.pp }
+
+(* Box where [wrapper] has priority: in a state where any wrapper action is
+   enabled, only wrapper transitions are taken.  This models dependability
+   wrappers that intercept the base system (cf. W2's "if ever truthified
+   ... then both are deleted" reading in Section 3.2). *)
+let box_priority ?name base wrapper =
+  let name =
+    match name with Some n -> n | None -> base.name ^ "[]!" ^ wrapper.name
+  in
+  let step s =
+    (* A wrapper action whose effect is the identity does not count as
+       enabled: systems are automata without self-loops (no-op steps are
+       stuttering and dropped, cf. DESIGN.md section 2). *)
+    match List.filter (fun s' -> s' <> s) (wrapper.step s) with
+    | [] -> base.step s
+    | ws -> ws
+  in
+  { name; states = base.states; step; is_initial = base.is_initial; pp = base.pp }

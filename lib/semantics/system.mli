@@ -1,0 +1,40 @@
+(** Symbolic finite-state automata [(Sigma, T, I)] — the paper's systems.
+
+    A system is described by an enumerated state space, a successor
+    function, and an initial-state predicate.  Use {!Explicit.of_system} to
+    compile a spec into an indexed transition graph suitable for model
+    checking and refinement checking.
+
+    States must be comparable/hashable with the polymorphic structural
+    operations (no functional values inside states). *)
+
+type 'a t = {
+  name : string;
+  states : 'a list;  (** enumeration of the full state space Sigma *)
+  step : 'a -> 'a list;  (** successors under T (duplicates allowed) *)
+  is_initial : 'a -> bool;  (** membership in I *)
+  pp : Format.formatter -> 'a -> unit;
+}
+
+val make :
+  name:string ->
+  states:'a list ->
+  step:('a -> 'a list) ->
+  is_initial:('a -> bool) ->
+  ?pp:(Format.formatter -> 'a -> unit) ->
+  unit ->
+  'a t
+(** [make ~name ~states ~step ~is_initial ()] builds a symbolic system. *)
+
+val name : 'a t -> string
+
+val rename : string -> 'a t -> 'a t
+
+val box : ?name:string -> 'a t -> 'a t -> 'a t
+(** [box a w] is the paper's [a [] w]: the union of the two transition
+    relations over the state space (and initial states) of [a].  Both
+    systems must range over the same Sigma. *)
+
+val box_priority : ?name:string -> 'a t -> 'a t -> 'a t
+(** [box_priority base wrapper] composes [base] with a wrapper whose
+    (state-changing) actions preempt the base system wherever enabled. *)

@@ -1,0 +1,107 @@
+(* Daemons (schedulers) for executing guarded-command programs.
+
+   The paper's systems are interleaving systems driven by an unspecified
+   daemon; the simulator makes the daemon explicit so that examples and
+   benchmarks can measure convergence under different adversaries. *)
+
+open Cr_guarded
+
+type pick = Layout.state -> (Action.t * Layout.state) list -> int
+(* Given the current state and the nonempty list of firings, return the
+   index of the chosen firing. *)
+
+type t = { name : string; pick : pick }
+
+let name t = t.name
+
+(* Uniformly random among enabled firings. *)
+let random ~seed =
+  let rng = Random.State.make [| seed |] in
+  {
+    name = "random";
+    pick = (fun _s firings -> Random.State.int rng (List.length firings));
+  }
+
+(* Round-robin over processes: repeatedly scan processes in cyclic order
+   starting after the last fired process, taking the first process with an
+   enabled firing (its first firing). *)
+let round_robin () =
+  let last = ref (-1) in
+  let pick _s firings =
+    let procs = List.map (fun (a, _) -> Action.proc a) firings in
+    let n = List.length firings in
+    let best = ref 0 in
+    let best_key = ref max_int in
+    List.iteri
+      (fun idx p ->
+        (* distance of process p after !last in cyclic order; global
+           wrapper actions (proc -1) are considered last *)
+        let key = if p < 0 then max_int - 1 else ((p - !last - 1 + 4096) mod 4096) in
+        if key < !best_key then begin
+          best_key := key;
+          best := idx
+        end)
+      procs;
+    ignore n;
+    let a, _ = List.nth firings !best in
+    last := Action.proc a;
+    !best
+  in
+  { name = "round-robin"; pick }
+
+(* Adversarial daemon w.r.t. a convergence predicate: among enabled
+   firings prefer one whose successor is not yet converged and, among
+   those, one maximizing a precomputed "steps remaining" potential.  With
+   the exact longest-path potential from the model checker this realizes
+   the true worst case on acyclic recovery regions. *)
+let adversarial ~name ~(potential : Layout.state -> int) =
+  {
+    name;
+    pick =
+      (fun _s firings ->
+        let best = ref 0 and best_v = ref min_int in
+        List.iteri
+          (fun idx (_, s') ->
+            let v = potential s' in
+            if v > !best_v then begin
+              best_v := v;
+              best := idx
+            end)
+          firings;
+        !best);
+  }
+
+(* Helpful daemon: minimizes the potential (best-case recovery). *)
+let helpful ~name ~(potential : Layout.state -> int) =
+  {
+    name;
+    pick =
+      (fun _s firings ->
+        let best = ref 0 and best_v = ref max_int in
+        List.iteri
+          (fun idx (_, s') ->
+            let v = potential s' in
+            if v < !best_v then begin
+              best_v := v;
+              best := idx
+            end)
+          firings;
+        !best);
+  }
+
+(* One interleaving step under the daemon; [None] at terminal states. *)
+let step (d : t) (p : Program.t) (s : Layout.state) :
+    (Action.t * Layout.state) option =
+  match Program.firings p s with
+  | [] -> None
+  | firings ->
+      let idx = d.pick s firings in
+      List.nth_opt firings idx
+
+(* Synchronous (distributed) daemon: every process with an enabled action
+   fires simultaneously, based on the old state; writes are merged in
+   process order (only meaningful for programs whose actions write their
+   own process's variables, like the paper's concrete systems). *)
+let synchronous_step = Program.synchronous_step
+
+let make ~name ~pick = { name; pick }

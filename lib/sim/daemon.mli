@@ -1,0 +1,32 @@
+(** Daemons (schedulers) driving guarded-command programs. *)
+
+open Cr_guarded
+
+type pick = Layout.state -> (Action.t * Layout.state) list -> int
+
+type t
+
+val name : t -> string
+
+val random : seed:int -> t
+(** Uniformly random among enabled firings. *)
+
+val round_robin : unit -> t
+(** Cyclic scan over processes (stateful across steps). *)
+
+val adversarial : name:string -> potential:(Layout.state -> int) -> t
+(** Always picks the successor maximizing [potential] — with the exact
+    longest-path potential this realizes the worst-case recovery. *)
+
+val helpful : name:string -> potential:(Layout.state -> int) -> t
+(** Always picks the successor minimizing [potential]. *)
+
+val step : t -> Program.t -> Layout.state -> (Action.t * Layout.state) option
+(** One interleaving step; [None] at terminal states. *)
+
+val synchronous_step : Program.t -> Layout.state -> Layout.state option
+(** Synchronous distributed daemon: all enabled processes fire at once
+    (reads from the old state, writes merged).  Only meaningful for
+    programs whose actions write their own process's variables. *)
+
+val make : name:string -> pick:pick -> t

@@ -1,0 +1,84 @@
+(* Trace execution and convergence measurement under explicit daemons. *)
+
+open Cr_guarded
+
+type trace_entry = { action : string; state : Layout.state }
+
+type trace = { start : Layout.state; steps : trace_entry list }
+
+let run (d : Daemon.t) (p : Program.t) ~(start : Layout.state) ~(max_steps : int)
+    : trace =
+  let rec go acc s k =
+    if k >= max_steps then List.rev acc
+    else
+      match Daemon.step d p s with
+      | None -> List.rev acc
+      | Some (a, s') -> go ({ action = Action.label a; state = s' } :: acc) s' (k + 1)
+  in
+  { start; steps = go [] start 0 }
+
+(* Number of daemon steps until [converged] first holds (and remains to be
+   checked by the caller); [None] when the bound is hit first. *)
+let steps_to ~(converged : Layout.state -> bool) (d : Daemon.t) (p : Program.t)
+    ~(start : Layout.state) ~(max_steps : int) : int option =
+  let rec go s k =
+    if converged s then Some k
+    else if k >= max_steps then None
+    else
+      match Daemon.step d p s with
+      | None -> if converged s then Some k else None
+      | Some (_, s') -> go s' (k + 1)
+  in
+  go start 0
+
+type stats = {
+  samples : int;
+  converged : int;  (* runs that reached the predicate within the bound *)
+  mean_steps : float;  (* over converged runs *)
+  max_steps_observed : int;
+  min_steps_observed : int;
+}
+
+let pp_stats fmt s =
+  Fmt.pf fmt "%d/%d converged, steps mean %.1f min %d max %d" s.converged
+    s.samples s.mean_steps s.min_steps_observed s.max_steps_observed
+
+(* Monte-Carlo convergence statistics from random corrupted states. *)
+let convergence_stats ?(samples = 200) ?(max_steps = 100_000) ~seed
+    ~(converged : Layout.state -> bool) (mk_daemon : int -> Daemon.t)
+    (p : Program.t) : stats =
+  let rng = Random.State.make [| seed |] in
+  let layout = Program.layout p in
+  let random_state () =
+    Array.init (Layout.num_vars layout) (fun i ->
+        Random.State.int rng (Layout.dom layout i))
+  in
+  let results = ref [] in
+  for i = 1 to samples do
+    let d = mk_daemon i in
+    match steps_to ~converged d p ~start:(random_state ()) ~max_steps with
+    | Some k -> results := k :: !results
+    | None -> ()
+  done;
+  let conv = List.length !results in
+  let total = List.fold_left ( + ) 0 !results in
+  {
+    samples;
+    converged = conv;
+    mean_steps = (if conv = 0 then nan else float_of_int total /. float_of_int conv);
+    max_steps_observed = List.fold_left max 0 !results;
+    min_steps_observed =
+      (if conv = 0 then 0 else List.fold_left min max_int !results);
+  }
+
+let pp_trace ?(limit = 30) (p : Program.t) fmt (t : trace) =
+  let layout = Program.layout p in
+  Fmt.pf fmt "@[<v>start  %a@," (Layout.pp_state layout) t.start;
+  List.iteri
+    (fun i e ->
+      if i < limit then
+        Fmt.pf fmt "%-6s %a@," e.action (Layout.pp_state layout) e.state)
+    t.steps;
+  if List.length t.steps > limit then
+    Fmt.pf fmt "... (%d more steps)@," (List.length t.steps - limit);
+  Fmt.pf fmt "@]"

@@ -1,0 +1,41 @@
+(** Trace execution and convergence measurement under explicit daemons. *)
+
+open Cr_guarded
+
+type trace_entry = { action : string; state : Layout.state }
+type trace = { start : Layout.state; steps : trace_entry list }
+
+val run : Daemon.t -> Program.t -> start:Layout.state -> max_steps:int -> trace
+
+val steps_to :
+  converged:(Layout.state -> bool) ->
+  Daemon.t ->
+  Program.t ->
+  start:Layout.state ->
+  max_steps:int ->
+  int option
+(** Steps until the predicate first holds; [None] if the bound is hit or a
+    terminal non-converged state is reached. *)
+
+type stats = {
+  samples : int;
+  converged : int;
+  mean_steps : float;
+  max_steps_observed : int;
+  min_steps_observed : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val convergence_stats :
+  ?samples:int ->
+  ?max_steps:int ->
+  seed:int ->
+  converged:(Layout.state -> bool) ->
+  (int -> Daemon.t) ->
+  Program.t ->
+  stats
+(** Monte-Carlo recovery statistics from uniformly random (corrupted)
+    start states; [mk_daemon] receives the sample index. *)
+
+val pp_trace : ?limit:int -> Program.t -> Format.formatter -> trace -> unit

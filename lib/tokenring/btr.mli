@@ -1,0 +1,64 @@
+(** The abstract bidirectional token ring BTR (paper, Section 3) and its
+    stabilization wrappers W1 (token creation) and W2 (token deletion).
+
+    Processes are [0..n]; [n] is the top process, [0] the bottom.  The
+    state records, per process, the paper's tokens ↑t.j and ↓t.j. *)
+
+open Cr_guarded
+
+type state = Layout.state
+
+val min_ring : int
+
+val check_n : int -> unit
+(** Raises [Invalid_argument] when the ring is too small. *)
+
+val layout : int -> Layout.t
+(** Shared layout of all token-level ring systems of size [n]. *)
+
+val up_slot : int -> int -> int
+val dn_slot : int -> int -> int
+
+val up : int -> state -> int -> bool
+(** [up n s j] — does [j] hold ↑t.j?  Always false for [j = 0]
+    (undefined in the paper). *)
+
+val dn : int -> state -> int -> bool
+(** [dn n s j] — does [j] hold ↓t.j?  Always false for [j = n]. *)
+
+val token_count : int -> state -> int
+
+type token = Up of int | Down of int
+
+val tokens : int -> state -> token list
+val pp_token : Format.formatter -> token -> unit
+
+val state_of_tokens : int -> token list -> state
+
+val invariant_i1 : int -> state -> bool
+(** I1: at least one token exists. *)
+
+val invariant_i2_i3 : int -> state -> bool
+(** I2 /\ I3: at most one token exists. *)
+
+val invariant : int -> state -> bool
+(** I: a unique token exists (the initial states of BTR). *)
+
+val actions : int -> Action.t list
+
+val program : int -> Program.t
+(** BTR itself: fault-intolerant abstract bidirectional ring. *)
+
+val w1 : int -> Program.t
+(** W1: ensures I1 — creates ↑t.N when no other process holds a token. *)
+
+val w2 : int -> Program.t
+(** W2: ensures eventually I2 /\ I3 — a process holding both ↑t.j and
+    ↓t.j deletes both. *)
+
+val wrapped : int -> Program.t
+(** (BTR [] W1 [] W2), plain union semantics. *)
+
+val wrapped_priority : int -> Program.t * (Action.t -> bool)
+(** (BTR [] W1 [] W2) with preemptive wrapper semantics; pass the
+    predicate to {!Program.to_explicit} as [priority_of]. *)

@@ -1,0 +1,34 @@
+(** The new 3-state system of Section 6.
+
+    C3 implements token moves by *creating* the moved token with an
+    own-state write, stuttering in illegitimate states instead of
+    compressing.  Lemma 12: [C3 ⪯ BTR]; Theorem 13: (C3 [] W1'' [] W2')
+    is stabilizing to BTR. *)
+
+open Cr_guarded
+
+type state = Layout.state
+
+val layout : int -> Layout.t
+val c : state -> int -> int
+val has_up : int -> state -> int -> bool
+val has_dn : int -> state -> int -> bool
+val to_tokens : int -> state -> Btr.state
+val alpha : int -> (state, Btr.state) Cr_semantics.Abstraction.t
+val initial : int -> state -> bool
+val canonical : int -> state
+
+val c3 : int -> Program.t
+(** The bare C3 system (no wrappers). *)
+
+val new3 : int -> Program.t
+(** The new 3-state stabilizing system (C3 [] W1'' [] W2'), union
+    semantics. *)
+
+val new3_priority : int -> Program.t * (Action.t -> bool)
+(** Same composition with preemptive wrapper semantics. *)
+
+val aggressive : int -> Program.t
+(** The end-of-Section-6 variant with the more aggressive W2' merged into
+    the mid actions; the paper rewrites it into Dijkstra's 3-state
+    system (checked mechanically in the test suite). *)

@@ -1,0 +1,63 @@
+(* Dijkstra's K-state token ring on a unidirectional ring (derived from
+   UTR in the paper's full version; reconstructed here).
+
+   Every process holds a counter c.j in 0..K-1.  The bottom process 0
+   fires when c.0 = c.N and increments mod K; every other process fires
+   when c.j ≠ c.(j-1) and copies.  Token mapping (abstraction alpha_k):
+
+     t.0 ≡ c.0 = c.N        t.j ≡ c.j ≠ c.(j-1)   (j >= 1)
+
+   The classic result: the system is self-stabilizing iff K > N (for a
+   central daemon), which experiment E11 reproduces — including the
+   failure witness for K <= N. *)
+
+open Cr_guarded
+
+type state = Layout.state
+
+let layout ~n ~k =
+  if n < 1 then invalid_arg "Kstate: ring needs processes 0..1";
+  if k < 2 then invalid_arg "Kstate: counters need K >= 2";
+  Layout.make (List.init (n + 1) (fun j -> (Printf.sprintf "c%d" j, k)))
+
+let c (s : state) j = s.(j)
+
+let has_token n (s : state) j =
+  if j = 0 then c s 0 = c s n else c s j <> c s (j - 1)
+
+let to_tokens n (s : state) : Utr.state =
+  Utr.state_of_tokens n
+    (List.filter (has_token n s) (List.init (n + 1) (fun j -> j)))
+
+let alpha ~n ~k =
+  Cr_semantics.Abstraction.make
+    ~name:(Printf.sprintf "alphaK(n=%d,K=%d)" n k)
+    (to_tokens n)
+
+let token_count n s = Utr.token_count (to_tokens n s)
+
+let initial n s = token_count n s = 1
+
+let actions ~n ~k =
+  let bottom =
+    Action.make ~label:"bottom" ~proc:0 ~writes:[ 0 ]
+      ~guard:(fun s -> c s 0 = c s n)
+      ~effect:(fun s -> Action.set s [ (0, (c s 0 + 1) mod k) ])
+      ()
+  in
+  let others =
+    List.init n (fun i ->
+        let j = i + 1 in
+        Action.make
+          ~label:(Printf.sprintf "copy%d" j)
+          ~proc:j ~writes:[ j ]
+          ~guard:(fun s -> c s j <> c s (j - 1))
+          ~effect:(fun s -> Action.set s [ (j, c s (j - 1)) ])
+          ())
+  in
+  bottom :: others
+
+let program ~n ~k =
+  Program.make
+    ~name:(Printf.sprintf "Kstate(n=%d,K=%d)" n k)
+    ~layout:(layout ~n ~k) ~actions:(actions ~n ~k) ~initial:(initial n)

@@ -1,0 +1,31 @@
+(* ASCII rendering of ring configurations, for traces and examples. *)
+
+(* One line per configuration: each process shows its id, decorated with
+   the tokens it holds, e.g.  [0]  [1↑]  [2↓]  [3]. *)
+let tokens_line n (s : Btr.state) : string =
+  let buf = Buffer.create 64 in
+  for j = 0 to n do
+    let up = if Btr.up n s j then "↑" else "" in
+    let dn = if Btr.dn n s j then "↓" else "" in
+    Buffer.add_string buf (Printf.sprintf "[%d%s%s] " j up dn)
+  done;
+  String.trim (Buffer.contents buf)
+
+(* Mod-3 counter systems: show counter values with token decorations. *)
+let counters3_line n (s : Btr3.state) : string =
+  let ts = Btr3.to_tokens n s in
+  let buf = Buffer.create 64 in
+  for j = 0 to n do
+    let up = if Btr.up n ts j then "↑" else "" in
+    let dn = if Btr.dn n ts j then "↓" else "" in
+    Buffer.add_string buf (Printf.sprintf "[%d:%d%s%s] " j (Btr3.c s j) up dn)
+  done;
+  String.trim (Buffer.contents buf)
+
+(* Unidirectional rings. *)
+let utr_line (s : Utr.state) : string =
+  let buf = Buffer.create 64 in
+  Array.iteri
+    (fun j v -> Buffer.add_string buf (if v = 1 then Printf.sprintf "[%d●] " j else Printf.sprintf "[%d] " j))
+    s;
+  String.trim (Buffer.contents buf)

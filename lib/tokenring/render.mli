@@ -1,0 +1,9 @@
+(** ASCII rendering of ring configurations for traces and examples. *)
+
+val tokens_line : int -> Btr.state -> string
+(** e.g. ["[0] [1↑] [2↓] [3]"]. *)
+
+val counters3_line : int -> Btr3.state -> string
+(** Mod-3 counters with token decorations, e.g. ["[0:2↑] [1:1] ..."]. *)
+
+val utr_line : Utr.state -> string

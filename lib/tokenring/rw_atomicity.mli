@@ -1,0 +1,34 @@
+(** Read/write atomicity refinement of Dijkstra's 3-state ring (extension
+    experiment E17): neighbour counters are first copied into local caches
+    by separate atomic reads, and the ring actions run on the (possibly
+    stale) caches.  See the implementation commentary for the expected
+    verdicts. *)
+
+open Cr_guarded
+
+type state = Layout.state
+
+val layout : int -> Layout.t
+val c : state -> int -> int
+val cp : int -> state -> int -> int
+(** cached copy of the left neighbour's counter, at j in 1..n *)
+
+val cn : int -> state -> int -> int
+(** cached copy of the right neighbour's counter, at j in 0..n-1 *)
+
+val ca0 : int -> state -> int
+(** the top process's cached copy of c.0 *)
+
+val to_counters : int -> state -> Btr3.state
+val alpha_counters : int -> (state, Btr3.state) Cr_semantics.Abstraction.t
+val to_tokens : int -> state -> Btr.state
+val alpha : int -> (state, Btr.state) Cr_semantics.Abstraction.t
+
+val canonical : int -> state
+(** Dijkstra-3's canonical configuration with coherent caches. *)
+
+val program : int -> Program.t
+(** Initial states: the reachability orbit of {!canonical}. *)
+
+val coherent : int -> state -> bool
+(** All caches agree with the counters they mirror. *)

@@ -1,0 +1,28 @@
+(** The abstract unidirectional token ring UTR and its wrappers — the
+    reconstructed starting point of the K-state derivation from the
+    paper's full version (DESIGN.md, E11). *)
+
+open Cr_guarded
+
+type state = Layout.state
+
+val layout : int -> Layout.t
+val has_token : state -> int -> bool
+val token_count : state -> int
+val tokens : state -> int list
+val invariant : state -> bool
+val state_of_tokens : int -> int list -> state
+val succ_proc : int -> int -> int
+
+val program : int -> Program.t
+(** UTR: a token at [j] moves to [j+1 mod (n+1)]. *)
+
+val w1u : int -> Program.t
+(** Creation wrapper: a token appears at process 0 when the ring is
+    empty. *)
+
+val w2u : int -> Program.t
+(** Deletion wrapper: adjacent tokens merge or cancel pairwise. *)
+
+val wrapped : int -> Program.t
+val wrapped_priority : int -> Program.t * (Action.t -> bool)

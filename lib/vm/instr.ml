@@ -1,0 +1,47 @@
+(* Instruction set of the mini stack machine — the subset of JVM bytecode
+   used by the paper's introductory example. *)
+
+type t =
+  | Iconst of int  (* push constant *)
+  | Istore of int  (* pop into local *)
+  | Iload of int  (* push local *)
+  | Goto of int  (* jump to address *)
+  | If_icmpeq of int  (* pop two; jump if equal *)
+  | If_icmpne of int  (* pop two; jump if different *)
+  | Iadd  (* pop two; push their sum (modulo the machine's value domain) *)
+  | Iinc of int * int  (* add a constant to a local, in place *)
+  | Dup  (* duplicate the stack top *)
+  | Pop  (* discard the stack top *)
+  | Return
+
+(* Byte width, used to lay instructions out at JVM-style addresses. *)
+let width = function
+  | Iconst _ | Istore _ | Iload _ | Return | Iadd | Dup | Pop -> 1
+  | Iinc _ -> 3
+  | Goto _ | If_icmpeq _ | If_icmpne _ -> 3
+
+let pp fmt = function
+  | Iconst v -> Fmt.pf fmt "iconst_%d" v
+  | Istore l -> Fmt.pf fmt "istore_%d" l
+  | Iload l -> Fmt.pf fmt "iload_%d" l
+  | Goto a -> Fmt.pf fmt "goto %d" a
+  | If_icmpeq a -> Fmt.pf fmt "if_icmpeq %d" a
+  | If_icmpne a -> Fmt.pf fmt "if_icmpne %d" a
+  | Iadd -> Fmt.pf fmt "iadd"
+  | Iinc (l, v) -> Fmt.pf fmt "iinc %d %d" l v
+  | Dup -> Fmt.pf fmt "dup"
+  | Pop -> Fmt.pf fmt "pop"
+  | Return -> Fmt.pf fmt "return"
+
+type listing = (int * t) list
+(* address-sorted code *)
+
+let layout_addresses (instrs : t list) : listing =
+  let rec go addr = function
+    | [] -> []
+    | i :: rest -> (addr, i) :: go (addr + width i) rest
+  in
+  go 0 instrs
+
+let pp_listing fmt (l : listing) =
+  List.iter (fun (a, i) -> Fmt.pf fmt "%2d %a@." a pp i) l

@@ -1,0 +1,27 @@
+(** Instruction set of the mini stack machine (the JVM subset of the
+    paper's introductory example). *)
+
+type t =
+  | Iconst of int  (** push constant *)
+  | Istore of int  (** pop into local *)
+  | Iload of int  (** push local *)
+  | Goto of int  (** jump *)
+  | If_icmpeq of int  (** pop two; jump if equal *)
+  | If_icmpne of int  (** pop two; jump if different *)
+  | Iadd  (** pop two; push sum modulo the machine's value domain *)
+  | Iinc of int * int  (** add a constant to a local in place *)
+  | Dup  (** duplicate the stack top *)
+  | Pop  (** discard the stack top *)
+  | Return
+
+val width : t -> int
+(** Instruction width in bytes (JVM-style addressing). *)
+
+val pp : Format.formatter -> t -> unit
+
+type listing = (int * t) list
+
+val layout_addresses : t list -> listing
+(** Assign byte addresses. *)
+
+val pp_listing : Format.formatter -> listing -> unit

@@ -1,0 +1,146 @@
+(* Explicit-state semantics of the mini stack machine.
+
+   A machine state is (pc, operand stack, locals).  To keep the state
+   space finite we bound the value domain and the stack depth — the
+   paper's program only ever needs values {0, 1} (the corrupted bit) and
+   depth 2. *)
+
+type state = { pc : int; stack : int list; locals : int array }
+
+type config = {
+  code : Instr.listing;
+  num_locals : int;
+  value_dom : int;  (* values range over 0..value_dom-1 *)
+  max_stack : int;
+}
+
+let halted_pc = -1
+(* after Return *)
+
+let pp_state fmt s =
+  Fmt.pf fmt "{pc=%d stack=[%a] locals=[%a]}"
+    s.pc
+    Fmt.(list ~sep:(any ";") int)
+    s.stack
+    Fmt.(array ~sep:(any ";") int)
+    s.locals
+
+let initial_state cfg = { pc = 0; stack = []; locals = Array.make cfg.num_locals 0 }
+
+let fetch cfg pc = List.assoc_opt pc cfg.code
+
+let next_addr cfg pc =
+  match fetch cfg pc with
+  | None -> None
+  | Some i -> Some (pc + Instr.width i)
+
+(* One execution step; [None] when halted, stuck (bad pc) or on a stack
+   underflow/overflow — stuck states are terminal. *)
+let step cfg (s : state) : state option =
+  if s.pc = halted_pc then None
+  else
+    match fetch cfg s.pc with
+    | None -> None
+    | Some i -> (
+        let jump pc' = Some { s with pc = pc' } in
+        match i with
+        | Instr.Iconst v ->
+            if List.length s.stack >= cfg.max_stack || v < 0
+               || v >= cfg.value_dom
+            then None
+            else
+              Option.bind (next_addr cfg s.pc) (fun pc' ->
+                  Some { s with pc = pc'; stack = v :: s.stack })
+        | Instr.Istore l -> (
+            match s.stack with
+            | [] -> None
+            | v :: rest ->
+                Option.bind (next_addr cfg s.pc) (fun pc' ->
+                    let locals = Array.copy s.locals in
+                    locals.(l) <- v;
+                    Some { pc = pc'; stack = rest; locals }))
+        | Instr.Iload l ->
+            if List.length s.stack >= cfg.max_stack then None
+            else
+              Option.bind (next_addr cfg s.pc) (fun pc' ->
+                  Some { s with pc = pc'; stack = s.locals.(l) :: s.stack })
+        | Instr.Goto a -> jump a
+        | Instr.If_icmpeq a -> (
+            match s.stack with
+            | v2 :: v1 :: rest ->
+                if v1 = v2 then Some { s with pc = a; stack = rest }
+                else
+                  Option.bind (next_addr cfg s.pc) (fun pc' ->
+                      Some { s with pc = pc'; stack = rest })
+            | _ -> None)
+        | Instr.If_icmpne a -> (
+            match s.stack with
+            | v2 :: v1 :: rest ->
+                if v1 <> v2 then Some { s with pc = a; stack = rest }
+                else
+                  Option.bind (next_addr cfg s.pc) (fun pc' ->
+                      Some { s with pc = pc'; stack = rest })
+            | _ -> None)
+        | Instr.Iadd -> (
+            match s.stack with
+            | v2 :: v1 :: rest ->
+                Option.bind (next_addr cfg s.pc) (fun pc' ->
+                    Some
+                      { s with pc = pc'; stack = ((v1 + v2) mod cfg.value_dom) :: rest })
+            | _ -> None)
+        | Instr.Iinc (l, v) ->
+            Option.bind (next_addr cfg s.pc) (fun pc' ->
+                let locals = Array.copy s.locals in
+                locals.(l) <- (locals.(l) + v) mod cfg.value_dom;
+                Some { s with pc = pc'; locals })
+        | Instr.Dup -> (
+            match s.stack with
+            | v :: _ when List.length s.stack < cfg.max_stack ->
+                Option.bind (next_addr cfg s.pc) (fun pc' ->
+                    Some { s with pc = pc'; stack = v :: s.stack })
+            | _ -> None)
+        | Instr.Pop -> (
+            match s.stack with
+            | _ :: rest ->
+                Option.bind (next_addr cfg s.pc) (fun pc' ->
+                    Some { s with pc = pc'; stack = rest })
+            | [] -> None)
+        | Instr.Return -> Some { s with pc = halted_pc; stack = [] })
+
+(* Enumerate the full state space: all pcs (plus halted), all stacks up to
+   max depth, all locals valuations. *)
+let enumerate cfg : state list =
+  let pcs = halted_pc :: List.map fst cfg.code in
+  let rec stacks depth =
+    if depth = 0 then [ [] ]
+    else
+      let shorter = stacks (depth - 1) in
+      shorter
+      @ List.concat_map
+          (fun st ->
+            if List.length st = depth - 1 then
+              List.init cfg.value_dom (fun v -> v :: st)
+            else [])
+          shorter
+  in
+  let all_stacks = stacks cfg.max_stack in
+  let rec locals_vals k =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> List.init cfg.value_dom (fun v -> v :: rest))
+        (locals_vals (k - 1))
+  in
+  let all_locals = List.map Array.of_list (locals_vals cfg.num_locals) in
+  List.concat_map
+    (fun pc ->
+      List.concat_map
+        (fun stack -> List.map (fun locals -> { pc; stack; locals }) all_locals)
+        all_stacks)
+    pcs
+
+let to_system ~name cfg =
+  Cr_semantics.System.make ~name ~states:(enumerate cfg)
+    ~step:(fun s -> match step cfg s with None -> [] | Some s' -> [ s' ])
+    ~is_initial:(fun s -> s = initial_state cfg)
+    ~pp:pp_state ()

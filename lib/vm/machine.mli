@@ -1,0 +1,22 @@
+(** Explicit-state semantics of the mini stack machine, with bounded value
+    domain and stack depth so the state space is finite. *)
+
+type state = { pc : int; stack : int list; locals : int array }
+
+type config = {
+  code : Instr.listing;
+  num_locals : int;
+  value_dom : int;
+  max_stack : int;
+}
+
+val halted_pc : int
+
+val pp_state : Format.formatter -> state -> unit
+val initial_state : config -> state
+val fetch : config -> int -> Instr.t option
+val step : config -> state -> state option
+(** [None] at halted or stuck states. *)
+
+val enumerate : config -> state list
+val to_system : name:string -> config -> state Cr_semantics.System.t

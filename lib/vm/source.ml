@@ -1,0 +1,140 @@
+(* The paper's source-level program and its compiler to the stack machine.
+
+     int x = 0;
+     while (x == x) { x = 0; }
+
+   The source-level (abstract) semantics is a one-variable system that is
+   trivially stabilizing to "x = 0": whatever value a transient fault
+   writes into x, the next loop body resets it.  The compiled bytecode is
+   the paper's listing; {!Machine} gives its explicit semantics, and the
+   test suite shows stabilization is *not* preserved (a comparison caught
+   mid-flight between the two iloads terminates the program). *)
+
+type expr = Var of int | Const of int | Add of expr * expr
+type cond = Eq of expr * expr | Ne of expr * expr
+type stmt = Assign of int * expr
+type program = { init : stmt list; loop_cond : cond; loop_body : stmt list }
+
+(* while (x == x) { x = 0; } with x as local 1, like the Java listing *)
+let paper_program =
+  {
+    init = [ Assign (1, Const 0) ];
+    loop_cond = Eq (Var 1, Var 1);
+    loop_body = [ Assign (1, Const 0) ];
+  }
+
+(* A straightforward one-pass compiler producing exactly the paper's
+   bytecode shape: init; goto test; body; test: push operands; if_icmpeq
+   body; return. *)
+let compile (p : program) : Instr.t list =
+  let rec compile_expr = function
+    | Var l -> [ Instr.Iload l ]
+    | Const v -> [ Instr.Iconst v ]
+    | Add (e1, e2) -> compile_expr e1 @ compile_expr e2 @ [ Instr.Iadd ]
+  in
+  let compile_stmt (Assign (l, e)) = compile_expr e @ [ Instr.Istore l ] in
+  let init = List.concat_map compile_stmt p.init in
+  let body = List.concat_map compile_stmt p.loop_body in
+  let e1, e2, jump =
+    match p.loop_cond with
+    | Eq (e1, e2) -> (e1, e2, fun a -> Instr.If_icmpeq a)
+    | Ne (e1, e2) -> (e1, e2, fun a -> Instr.If_icmpne a)
+  in
+  let test = compile_expr e1 @ compile_expr e2 in
+  (* Addresses are only known after layout; compile with placeholders then
+     patch.  Shape: [init] [goto T] [body]@B [test]@T [if_icmpeq B] [return]. *)
+  let instrs placeholderB placeholderT =
+    init
+    @ [ Instr.Goto placeholderT ]
+    @ body @ test
+    @ [ jump placeholderB; Instr.Return ]
+  in
+  (* two-pass: lay out once with dummies to learn addresses *)
+  let dummy = instrs 0 0 in
+  let listing = Instr.layout_addresses dummy in
+  let addr_of_index idx = fst (List.nth listing idx) in
+  let body_index = List.length init + 1 in
+  let test_index = body_index + List.length body in
+  let addr_b = addr_of_index body_index in
+  let addr_t = addr_of_index test_index in
+  instrs addr_b addr_t
+
+(* The paper's exact listing, for cross-checking the compiler. *)
+let paper_listing : Instr.listing =
+  [
+    (0, Instr.Iconst 0);
+    (1, Instr.Istore 1);
+    (2, Instr.Goto 7);
+    (5, Instr.Iconst 0);
+    (6, Instr.Istore 1);
+    (7, Instr.Iload 1);
+    (8, Instr.Iload 1);
+    (9, Instr.If_icmpeq 5);
+    (12, Instr.Return);
+  ]
+
+let machine_config : Machine.config =
+  {
+    Machine.code = Instr.layout_addresses (compile paper_program);
+    num_locals = 2;
+    value_dom = 2;
+    max_stack = 2;
+  }
+
+(* Abstract source-level system over the single variable x: a transient
+   fault can set x to anything; the loop body resets it to 0.  States are
+   the values of x; the only transition is the reset. *)
+let abstract_system ~value_dom =
+  Cr_semantics.System.make ~name:"source(x:=0 loop)"
+    ~states:(List.init value_dom (fun v -> v))
+    ~step:(fun v -> if v = 0 then [] else [ 0 ])
+    ~is_initial:(fun v -> v = 0)
+    ~pp:(fun fmt v -> Fmt.pf fmt "x=%d" v)
+    ()
+
+(* The target behaviour B: x is (and stays) 0. *)
+let target_system ~value_dom =
+  Cr_semantics.System.make ~name:"x-always-0"
+    ~states:(List.init value_dom (fun v -> v))
+    ~step:(fun _ -> [])
+    ~is_initial:(fun v -> v = 0)
+    ~pp:(fun fmt v -> Fmt.pf fmt "x=%d" v)
+    ()
+
+(* ---- a second compiled program with a multi-step recovery path ----
+
+     int x = 0;
+     while (x != 0) { x = x + (K-1); }   (decrement mod K)
+
+   At the source level a fault that sets x to any value is drained back
+   to 0 in x steps; the compiled bytecode again loses stabilization (a
+   corruption between the comparison's loads can exit the loop with
+   x <> 0). *)
+let drain_program ~dom =
+  {
+    init = [ Assign (1, Const 0) ];
+    loop_cond = Ne (Var 1, Const 0);
+    loop_body = [ Assign (1, Add (Var 1, Const (dom - 1))) ];
+  }
+
+let drain_machine_config ~dom : Machine.config =
+  {
+    Machine.code = Instr.layout_addresses (compile (drain_program ~dom));
+    num_locals = 2;
+    value_dom = dom;
+    max_stack = 2;
+  }
+
+(* Source-level semantics of the drain loop: x counts down to 0. *)
+let drain_abstract_system ~dom =
+  Cr_semantics.System.make ~name:"source(x drain loop)"
+    ~states:(List.init dom (fun v -> v))
+    ~step:(fun v -> if v = 0 then [] else [ v - 1 ])
+    ~is_initial:(fun v -> v = 0)
+    ~pp:(fun fmt v -> Fmt.pf fmt "x=%d" v)
+    ()
+
+(* Abstraction from machine states to the value of x (local 1). *)
+let alpha_x =
+  Cr_semantics.Abstraction.make ~name:"local-x" (fun (s : Machine.state) ->
+      s.Machine.locals.(1))

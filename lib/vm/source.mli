@@ -1,0 +1,37 @@
+(** The paper's introductory source program
+    [int x = 0; while (x == x) x = 0;], a one-pass compiler to the stack
+    machine, and the abstract/target systems used to show that the
+    compiler does not preserve stabilization. *)
+
+type expr = Var of int | Const of int | Add of expr * expr
+type cond = Eq of expr * expr | Ne of expr * expr
+type stmt = Assign of int * expr
+type program = { init : stmt list; loop_cond : cond; loop_body : stmt list }
+
+val paper_program : program
+
+val compile : program -> Instr.t list
+(** Produces exactly the paper's bytecode shape (checked against
+    {!paper_listing} in the test suite). *)
+
+val paper_listing : Instr.listing
+
+val machine_config : Machine.config
+
+val abstract_system : value_dom:int -> int Cr_semantics.System.t
+(** Source-level semantics over the value of x: a fault puts x anywhere,
+    the loop body resets it to 0. *)
+
+val target_system : value_dom:int -> int Cr_semantics.System.t
+(** B: x is and stays 0. *)
+
+val drain_program : dom:int -> program
+(** [int x = 0; while (x != 0) x = x + (dom-1);] — a loop whose
+    source-level recovery path has x steps (decrement modulo [dom]). *)
+
+val drain_machine_config : dom:int -> Machine.config
+
+val drain_abstract_system : dom:int -> int Cr_semantics.System.t
+
+val alpha_x : (Machine.state, int) Cr_semantics.Abstraction.t
+(** Project a machine state to the value of local 1 (x). *)

@@ -1,0 +1,147 @@
+(* Tests for the bidding-server example (E3): spec tolerance, sorted-list
+   intolerance, and the graybox repair wrapper. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_spec_basics () =
+  let s = Cr_bidding.Spec.create ~k:3 in
+  Alcotest.(check (list int)) "zeros" [ 0; 0; 0 ] (Cr_bidding.Spec.stored s);
+  let s = Cr_bidding.Spec.run s [ 5; 2; 7; 1 ] in
+  Alcotest.(check (list int)) "best three" [ 2; 5; 7 ] (Cr_bidding.Spec.stored s);
+  Alcotest.(check (list int)) "winners best first" [ 7; 5; 2 ]
+    (Cr_bidding.Spec.winners s);
+  check_int "minimum" 2 (Cr_bidding.Spec.minimum s);
+  (* low bid ignored *)
+  let s' = Cr_bidding.Spec.bid 1 s in
+  check "low bid ignored" true (Cr_bidding.Spec.stored s' = Cr_bidding.Spec.stored s);
+  check_int "arity" 3 (Cr_bidding.Spec.arity s)
+
+let test_spec_diff () =
+  let a = Cr_bidding.Spec.of_list ~k:3 [ 1; 2; 3 ] in
+  let b = Cr_bidding.Spec.of_list ~k:3 [ 1; 2; 9 ] in
+  check_int "one apart" 1 (Cr_bidding.Spec.diff a b);
+  check_int "zero from self" 0 (Cr_bidding.Spec.diff a a);
+  let c = Cr_bidding.Spec.of_list ~k:3 [ 7; 8; 9 ] in
+  check_int "all apart" 3 (Cr_bidding.Spec.diff a c)
+
+let test_impl_equals_spec_fault_free () =
+  (* exhaustive over short bid sequences *)
+  let b = 4 and len = 5 in
+  let rec seqs l = if l = 0 then [ [] ] else
+      List.concat_map (fun rest -> List.init (b + 1) (fun v -> v :: rest)) (seqs (l - 1))
+  in
+  List.iter
+    (fun seq ->
+      let s = Cr_bidding.Spec.run (Cr_bidding.Spec.create ~k:2) seq in
+      let i = Cr_bidding.Sorted_impl.run (Cr_bidding.Sorted_impl.create ~k:2) seq in
+      check "same winners" true
+        (Cr_bidding.Spec.winners s = Cr_bidding.Sorted_impl.winners i))
+    (seqs len)
+
+(* the paper's MAX_INT blocking scenario *)
+let test_head_corruption_blocks () =
+  let max_int_bid = 1000 in
+  let i = Cr_bidding.Sorted_impl.of_list ~k:3 [ 2; 5; 7 ] in
+  let corrupted = Cr_bidding.Sorted_impl.corrupt ~index:0 ~value:max_int_bid i in
+  check "no longer sorted" false (Cr_bidding.Sorted_impl.is_sorted corrupted);
+  (* every new bid below max_int is now rejected *)
+  let after = Cr_bidding.Sorted_impl.run corrupted [ 9; 50; 999 ] in
+  Alcotest.(check (list int)) "blocked" [ 1000; 5; 7 ]
+    (Cr_bidding.Sorted_impl.raw_list after);
+  (* the spec under the same corruption keeps accepting *)
+  let s = Cr_bidding.Spec.corrupt ~index:0 ~value:max_int_bid
+      (Cr_bidding.Spec.of_list ~k:3 [ 2; 5; 7 ]) in
+  let s_after = Cr_bidding.Spec.run s [ 9; 50; 999 ] in
+  check "spec still accepts" true (List.mem 999 (Cr_bidding.Spec.stored s_after))
+
+let test_wrapper_restores () =
+  let max_int_bid = 1000 in
+  let i = Cr_bidding.Sorted_impl.of_list ~k:3 [ 2; 5; 7 ] in
+  let corrupted = Cr_bidding.Sorted_impl.corrupt ~index:0 ~value:max_int_bid i in
+  let after = Cr_bidding.Wrapper.run corrupted [ 9; 50; 999 ] in
+  check "999 accepted" true (List.mem 999 (Cr_bidding.Sorted_impl.raw_list after));
+  check "sorted again" true (Cr_bidding.Sorted_impl.is_sorted after)
+
+(* qcheck: the spec's (k-1)-tolerance as the diff<=1 simulation bound *)
+let gen_campaign =
+  QCheck2.Gen.(
+    let* k = int_range 1 4 in
+    let* base = list_repeat k (int_bound 9) in
+    let* idx = int_bound (k - 1) in
+    let* v = int_bound 9 in
+    let* seq = list_size (int_bound 12) (int_bound 9) in
+    return (k, base, idx, v, seq))
+
+let prop_spec_tolerance =
+  QCheck2.Test.make ~name:"spec: single corruption diverges by at most one bid"
+    ~count:1000 gen_campaign (fun (k, base, idx, v, seq) ->
+      let s = Cr_bidding.Spec.of_list ~k base in
+      let c = Cr_bidding.Spec.corrupt ~index:idx ~value:v s in
+      Cr_bidding.Spec.diff (Cr_bidding.Spec.run s seq) (Cr_bidding.Spec.run c seq)
+      <= 1)
+
+let prop_wrapped_tolerance =
+  QCheck2.Test.make
+    ~name:"wrapped impl: single corruption diverges by at most one bid"
+    ~count:1000 gen_campaign (fun (k, base, idx, v, seq) ->
+      let i = Cr_bidding.Sorted_impl.of_list ~k base in
+      let c = Cr_bidding.Sorted_impl.corrupt ~index:idx ~value:v i in
+      let r1 = Cr_bidding.Wrapper.run i seq in
+      let r2 = Cr_bidding.Wrapper.run c seq in
+      Cr_bidding.Spec.diff
+        (Cr_bidding.Sorted_impl.to_spec r1)
+        (Cr_bidding.Sorted_impl.to_spec r2)
+      <= 1)
+
+let prop_impl_agrees_with_spec =
+  QCheck2.Test.make ~name:"impl = spec on fault-free runs" ~count:1000
+    QCheck2.Gen.(
+      let* k = int_range 1 4 in
+      let* seq = list_size (int_bound 15) (int_bound 9) in
+      return (k, seq))
+    (fun (k, seq) ->
+      Cr_bidding.Spec.winners (Cr_bidding.Spec.run (Cr_bidding.Spec.create ~k) seq)
+      = Cr_bidding.Sorted_impl.winners
+          (Cr_bidding.Sorted_impl.run (Cr_bidding.Sorted_impl.create ~k) seq))
+
+let test_experiment_verdicts () =
+  let v = Cr_experiments.Intro_exps.bidding_experiment () in
+  check "fault-free refinement" true v.Cr_experiments.Intro_exps.impl_refines_init;
+  check "[impl ⪯ spec] fails" false v.Cr_experiments.Intro_exps.impl_convergence;
+  check "a blocked terminal exists" true
+    (v.Cr_experiments.Intro_exps.impl_blocked_terminal <> None);
+  check "wrapped is a convergence refinement" true
+    v.Cr_experiments.Intro_exps.wrapped_convergence;
+  check "wrapped is not an everywhere refinement (repair stutters)" true
+    v.Cr_experiments.Intro_exps.wrapped_not_everywhere;
+  check "spec diff bound holds" true
+    v.Cr_experiments.Intro_exps.spec_diff_bound_holds;
+  check "impl violates the bound" true
+    v.Cr_experiments.Intro_exps.impl_diff_bound_fails
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_spec_tolerance; prop_wrapped_tolerance; prop_impl_agrees_with_spec ]
+
+let () =
+  Alcotest.run "bidding"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "basics" `Quick test_spec_basics;
+          Alcotest.test_case "diff" `Quick test_spec_diff;
+        ] );
+      ( "impl",
+        [
+          Alcotest.test_case "fault-free equivalence (exhaustive)" `Quick
+            test_impl_equals_spec_fault_free;
+          Alcotest.test_case "head corruption blocks (paper)" `Quick
+            test_head_corruption_blocks;
+          Alcotest.test_case "wrapper restores tolerance" `Quick
+            test_wrapper_restores;
+        ] );
+      ( "experiment",
+        [ Alcotest.test_case "E3 verdicts" `Quick test_experiment_verdicts ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,158 @@
+(* Unit and property tests for cr_checker: reachability, SCC, paths. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* adjacency: 0->1->2->0 (cycle), 2->3, 3->4, 5 isolated *)
+let g = [| [| 1 |]; [| 2 |]; [| 0; 3 |]; [| 4 |]; [||]; [||] |]
+
+let test_forward () =
+  let r = Cr_checker.Reach.forward ~succ:g ~seeds:[ 0 ] in
+  check "reaches 4" true r.(4);
+  check "not 5" false r.(5);
+  check_int "count" 5 (Cr_checker.Reach.count r);
+  Alcotest.(check (list int)) "members" [ 0; 1; 2; 3; 4 ]
+    (Cr_checker.Reach.members r)
+
+let test_backward () =
+  let r = Cr_checker.Reach.backward ~succ:g ~seeds:[ 4 ] in
+  check "0 reaches 4" true r.(0);
+  check "5 does not" false r.(5)
+
+let test_scc () =
+  let t = Cr_checker.Scc.compute g in
+  check "0,1,2 same comp" true
+    (t.Cr_checker.Scc.component.(0) = t.Cr_checker.Scc.component.(1)
+    && t.Cr_checker.Scc.component.(1) = t.Cr_checker.Scc.component.(2));
+  check "3 different" true
+    (t.Cr_checker.Scc.component.(3) <> t.Cr_checker.Scc.component.(0));
+  check "0 on cycle" true (Cr_checker.Scc.on_cycle t 0);
+  check "3 not on cycle" false (Cr_checker.Scc.on_cycle t 3);
+  check "edge 1->2 on cycle" true (Cr_checker.Scc.edge_on_cycle t 1 2);
+  check "edge 2->3 not" false (Cr_checker.Scc.edge_on_cycle t 2 3)
+
+let test_acyclic_within () =
+  let all = Array.make 6 true in
+  check "whole graph cyclic" false (Cr_checker.Scc.acyclic_within g all);
+  let no_cycle = [| false; true; true; true; true; true |] in
+  check "without 0 acyclic" true (Cr_checker.Scc.acyclic_within g no_cycle)
+
+let test_bfs () =
+  let d = Cr_checker.Paths.bfs_distances ~succ:g ~src:0 in
+  check_int "dist to 4" 4 d.(4);
+  check_int "dist to 0" 0 d.(0);
+  check_int "unreachable" (-1) d.(5)
+
+let test_shortest_nonempty () =
+  Alcotest.(check (option int))
+    "1 to 0" (Some 2)
+    (Cr_checker.Paths.shortest_nonempty ~succ:g ~src:1 ~dst:0);
+  Alcotest.(check (option int))
+    "cycle through 0" (Some 3)
+    (Cr_checker.Paths.shortest_nonempty ~succ:g ~src:0 ~dst:0);
+  Alcotest.(check (option int))
+    "4 to 0 impossible" None
+    (Cr_checker.Paths.shortest_nonempty ~succ:g ~src:4 ~dst:0)
+
+let test_shortest_path () =
+  (match Cr_checker.Paths.shortest_path ~succ:g ~src:0 ~dst:4 with
+  | Some p ->
+      Alcotest.(check (list int)) "path 0..4" [ 0; 1; 2; 3; 4 ] p
+  | None -> Alcotest.fail "expected path");
+  Alcotest.(check (option (list int)))
+    "src=dst" (Some [ 3 ])
+    (Cr_checker.Paths.shortest_path ~succ:g ~src:3 ~dst:3);
+  Alcotest.(check (option (list int)))
+    "unreachable" None
+    (Cr_checker.Paths.shortest_path ~succ:g ~src:4 ~dst:0)
+
+let test_longest_within () =
+  (* DAG: 0->1->2, 0->2, mask all *)
+  let dag = [| [| 1; 2 |]; [| 2 |]; [||] |] in
+  let l = Cr_checker.Paths.longest_within ~succ:dag ~mask:(Array.make 3 true) in
+  check_int "longest from 0" 2 l.(0);
+  check_int "longest from 2" 0 l.(2);
+  (* masked region: only 0 and 1 — an edge out of the mask still counts *)
+  let l2 =
+    Cr_checker.Paths.longest_within ~succ:dag ~mask:[| true; true; false |]
+  in
+  check_int "stops at mask" 2 l2.(0);
+  check "cyclic raises" true
+    (try
+       ignore (Cr_checker.Paths.longest_within ~succ:g ~mask:(Array.make 6 true));
+       false
+     with Cr_checker.Paths.Cyclic -> true)
+
+(* properties: on random graphs, SCC component equality agrees with mutual
+   reachability, and bfs distance agrees with reconstructed path length. *)
+
+let gen_graph =
+  QCheck2.Gen.(
+    let* n = int_range 1 12 in
+    let* edges = list_size (int_bound 30) (pair (int_bound (n - 1)) (int_bound (n - 1))) in
+    return (n, edges))
+
+let adj_of (n, edges) =
+  let a = Array.make n [] in
+  List.iter (fun (i, j) -> if i <> j then a.(i) <- j :: a.(i)) edges;
+  Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) a
+
+let prop_scc_mutual_reach =
+  QCheck2.Test.make ~name:"same SCC iff mutually reachable" ~count:100 gen_graph
+    (fun g ->
+      let adj = adj_of g in
+      let n = Array.length adj in
+      let t = Cr_checker.Scc.compute adj in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let ri = Cr_checker.Reach.forward ~succ:adj ~seeds:[ i ] in
+        for j = 0 to n - 1 do
+          let rj = Cr_checker.Reach.forward ~succ:adj ~seeds:[ j ] in
+          let mutual = ri.(j) && rj.(i) in
+          let same = t.Cr_checker.Scc.component.(i) = t.Cr_checker.Scc.component.(j) in
+          if mutual <> same then ok := false
+        done
+      done;
+      !ok)
+
+let prop_bfs_path_agree =
+  QCheck2.Test.make ~name:"bfs distance = reconstructed path length" ~count:100
+    gen_graph (fun g ->
+      let adj = adj_of g in
+      let n = Array.length adj in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        let d = Cr_checker.Paths.bfs_distances ~succ:adj ~src in
+        for dst = 0 to n - 1 do
+          match Cr_checker.Paths.shortest_path ~succ:adj ~src ~dst with
+          | Some p -> if List.length p - 1 <> d.(dst) then ok := false
+          | None -> if d.(dst) >= 0 then ok := false
+        done
+      done;
+      !ok)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_scc_mutual_reach; prop_bfs_path_agree ]
+
+let () =
+  Alcotest.run "checker"
+    [
+      ( "reach",
+        [
+          Alcotest.test_case "forward" `Quick test_forward;
+          Alcotest.test_case "backward" `Quick test_backward;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "components" `Quick test_scc;
+          Alcotest.test_case "acyclic_within" `Quick test_acyclic_within;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "bfs" `Quick test_bfs;
+          Alcotest.test_case "shortest_nonempty" `Quick test_shortest_nonempty;
+          Alcotest.test_case "shortest_path" `Quick test_shortest_path;
+          Alcotest.test_case "longest_within" `Quick test_longest_within;
+        ] );
+      ("properties", qcheck_cases);
+    ]

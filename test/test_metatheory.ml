@@ -1,0 +1,303 @@
+(* Property-based metatheory tests (experiment E15): on randomly generated
+   finite systems, the checker verdicts must respect the paper's theorems.
+   Because the checkers are sound decision procedures, a theorem violation
+   (premises verified, conclusion refuted) would expose a bug in either
+   the checkers or the formalization. *)
+
+open Cr_semantics
+
+(* ---- random system generation over a shared state space 0..n-1 ---- *)
+
+type raw = { n : int; edges : (int * int) list; inits : int list }
+
+let gen_raw =
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let* m = int_bound 12 in
+    let* edges = list_size (return m) (pair (int_bound (n - 1)) (int_bound (n - 1))) in
+    let* i0 = int_bound (n - 1) in
+    let* extra_inits = list_size (int_bound 2) (int_bound (n - 1)) in
+    return { n; edges; inits = i0 :: extra_inits })
+
+let explicit_of { n; edges; inits } name =
+  let step s =
+    List.filter_map (fun (i, j) -> if i = s && i <> j then Some j else None) edges
+  in
+  Explicit.of_system
+    (System.make ~name
+       ~states:(List.init n (fun i -> i))
+       ~step
+       ~is_initial:(fun s -> List.mem s inits)
+       ~pp:Fmt.int ())
+
+(* a sub-system of [raw]: keep a random subset of the edges *)
+let gen_sub raw =
+  QCheck2.Gen.(
+    let* keep = list_repeat (List.length raw.edges) bool in
+    let edges =
+      List.filteri
+        (fun i _ -> List.nth keep i)
+        raw.edges
+    in
+    return { raw with edges })
+
+let gen_pair =
+  QCheck2.Gen.(
+    let* a = gen_raw in
+    let* c = gen_sub a in
+    return (c, a))
+
+(* rescale a raw system onto the state space of [a] *)
+let rescale ~onto:(a : raw) (w : raw) =
+  {
+    n = a.n;
+    edges = List.map (fun (i, j) -> (i mod a.n, j mod a.n)) w.edges;
+    inits = a.inits;
+  }
+
+let gen_triple =
+  QCheck2.Gen.(
+    let* a = gen_raw in
+    let* c = gen_sub a in
+    let* w = gen_raw in
+    return (c, a, rescale ~onto:a w))
+
+(* ---- properties ---- *)
+
+let prop_strength_chain =
+  QCheck2.Test.make ~name:"everywhere => convergence => ee => init" ~count:300
+    gen_pair (fun (craw, araw) ->
+      let c = explicit_of craw "C" and a = explicit_of araw "A" in
+      Cr_core.Theorems.strength_chain ~c ~a ())
+
+let prop_theorem_0 =
+  QCheck2.Test.make ~name:"Theorem 0 never refuted" ~count:300 gen_pair
+    (fun (craw, araw) ->
+      let c = explicit_of craw "C" and a = explicit_of araw "A" in
+      Cr_core.Theorems.theorem_0 ~c ~a ~b:a () <> Cr_core.Theorems.Refuted)
+
+let prop_theorem_1 =
+  QCheck2.Test.make ~name:"Theorem 1 never refuted" ~count:300 gen_pair
+    (fun (craw, araw) ->
+      let c = explicit_of craw "C" and a = explicit_of araw "A" in
+      Cr_core.Theorems.theorem_1 ~c ~a ~b:a () <> Cr_core.Theorems.Refuted)
+
+let prop_theorem_3 =
+  QCheck2.Test.make ~name:"Theorem 3 never refuted" ~count:300 gen_triple
+    (fun (craw, araw, wraw) ->
+      let c = explicit_of craw "C"
+      and a = explicit_of araw "A"
+      and w = explicit_of wraw "W" in
+      Cr_core.Theorems.theorem_3 ~box:Explicit.box ~c ~a ~w ()
+      <> Cr_core.Theorems.Refuted)
+
+let prop_theorem_5 =
+  QCheck2.Test.make ~name:"Theorem 5 never refuted" ~count:200
+    QCheck2.Gen.(
+      let* a = gen_raw in
+      let* c = gen_sub a in
+      let* w = gen_raw in
+      let w = rescale ~onto:a w in
+      let* w' = gen_sub w in
+      return (c, a, w, w'))
+    (fun (craw, araw, wraw, w'raw) ->
+      let c = explicit_of craw "C"
+      and a = explicit_of araw "A"
+      and w = explicit_of wraw "W"
+      and w' = explicit_of w'raw "W'" in
+      Cr_core.Theorems.theorem_5 ~box:Explicit.box ~c ~a ~w ~w' ()
+      <> Cr_core.Theorems.Refuted)
+
+(* When the convergence-refinement checker accepts, every finite maximal
+   computation of C must actually be a convergence isomorphism of some
+   computation of A.  Checked by exhaustive enumeration on acyclic systems
+   (DAG generator), where both computation sets are finite. *)
+let gen_dag_pair =
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let* m = int_bound 12 in
+    let* raw_edges =
+      list_size (return m) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+    in
+    (* orient edges upward to force acyclicity *)
+    let edges =
+      List.filter_map
+        (fun (i, j) ->
+          if i = j then None else Some (min i j, max i j))
+        raw_edges
+    in
+    let* i0 = int_bound (n - 1) in
+    let a = { n; edges; inits = [ i0 ] } in
+    let* c = gen_sub a in
+    return (c, a))
+
+let prop_convergence_witnesses =
+  QCheck2.Test.make ~name:"accepted refinements have matching computations"
+    ~count:300 gen_dag_pair (fun (craw, araw) ->
+      let c = explicit_of craw "C" and a = explicit_of araw "A" in
+      let r = Cr_core.Refine.convergence_refinement ~c ~a () in
+      if not r.Cr_core.Refine.holds then true
+      else begin
+        let depth = Explicit.num_states a + 1 in
+        let ok = ref true in
+        for start = 0 to Explicit.num_states c - 1 do
+          let cs = Computation.bounded_computations c ~start ~depth in
+          let as_ = Computation.bounded_computations a ~start ~depth in
+          List.iter
+            (fun comp ->
+              let matched =
+                List.exists
+                  (fun acomp ->
+                    Computation.is_convergence_isomorphism ~candidate:comp
+                      ~of_:acomp)
+                  as_
+              in
+              if not matched then ok := false)
+            cs
+        done;
+        !ok
+      end)
+
+(* Stabilization verdict cross-check: when the checker rejects with a cycle
+   witness, the witness is a real cycle of C whose states can avoid
+   converging forever. *)
+let prop_cycle_witness_valid =
+  QCheck2.Test.make ~name:"divergence witnesses are real cycles" ~count:300
+    gen_pair (fun (craw, araw) ->
+      let c = explicit_of craw "C" and a = explicit_of araw "A" in
+      let r = Cr_core.Stabilize.stabilizing_to ~c ~a () in
+      match r.Cr_core.Stabilize.bad_cycle with
+      | None -> true
+      | Some [] -> false
+      | Some (first :: _ as cyc) ->
+          (* consecutive edges exist and the cycle closes *)
+          let rec edges_ok = function
+            | [] -> true
+            | [ last ] -> Explicit.has_edge c last first || last = first
+            | x :: (y :: _ as rest) -> Explicit.has_edge c x y && edges_ok rest
+          in
+          edges_ok cyc)
+
+(* When stabilization holds, random walks from every state end up (within
+   the worst-case bound) in the legitimate behaviour of A. *)
+let prop_stabilization_walks =
+  QCheck2.Test.make ~name:"stabilizing systems converge on random walks"
+    ~count:150 gen_pair (fun (craw, araw) ->
+      let c = explicit_of craw "C" and a = explicit_of araw "A" in
+      let r = Cr_core.Stabilize.stabilizing_to ~c ~a () in
+      if not r.Cr_core.Stabilize.holds then true
+      else
+        match r.Cr_core.Stabilize.worst_case_recovery with
+        | None -> true
+        | Some bound ->
+            let legit = Cr_checker.Reach.reachable_from_initial a in
+            let rng = Random.State.make [| 11 |] in
+            let ok = ref true in
+            for start = 0 to Explicit.num_states c - 1 do
+              for _rep = 1 to 3 do
+                let w =
+                  Computation.random_walk c ~rng ~start
+                    ~max_len:(bound + Explicit.num_states c + 2)
+                in
+                (* after [bound] steps every visited state must be
+                   legitimate *)
+                List.iteri
+                  (fun k s -> if k > bound && not legit.(s) then ok := false)
+                  w
+              done
+            done;
+            !ok)
+
+(* Brute-force cross-validation of the stabilization checker on acyclic
+   instances, where "every computation of C has a suffix that is a suffix
+   of some computation of A from an initial state" can be decided by
+   exhaustive enumeration. *)
+let suffixes l =
+  let rec go = function [] -> [] | _ :: rest as l -> l :: go rest in
+  go l
+
+let prop_stabilization_bruteforce =
+  QCheck2.Test.make ~name:"stabilization checker agrees with brute force"
+    ~count:300 gen_dag_pair (fun (craw, araw) ->
+      let c = explicit_of craw "C" and a = explicit_of araw "A" in
+      let verdict = (Cr_core.Stabilize.stabilizing_to ~c ~a ()).Cr_core.Stabilize.holds in
+      (* enumerate all computations of A from initial states and collect
+         their suffixes *)
+      let depth = Explicit.num_states a + 1 in
+      let a_suffixes =
+        Array.to_list (Explicit.initials a)
+        |> List.concat_map (fun i -> Computation.bounded_computations a ~start:i ~depth)
+        |> List.concat_map suffixes
+        |> List.sort_uniq compare
+      in
+      (* brute force: every computation of C (from every state) must have
+         some suffix in that set *)
+      let brute = ref true in
+      for start = 0 to Explicit.num_states c - 1 do
+        List.iter
+          (fun comp ->
+            let ok = List.exists (fun s -> List.mem s a_suffixes) (suffixes comp) in
+            if not ok then brute := false)
+          (Computation.bounded_computations c ~start ~depth)
+      done;
+      verdict = !brute)
+
+(* ---- abstraction-function metatheory: random quotient maps ----
+
+   Generate an abstract system A over m states, an onto map q from n >= m
+   concrete states, and a concrete C whose transitions project into A's
+   (possibly with extra stuttering inside quotient classes).  The checkers
+   must respect the theorems through the abstraction. *)
+
+let gen_quotient =
+  QCheck2.Gen.(
+    let* m = int_range 2 4 in
+    let* extra = int_bound 3 in
+    let n = m + extra in
+    (* onto map: first m states map to themselves, the rest randomly *)
+    let* tail = list_repeat extra (int_bound (m - 1)) in
+    let q = Array.of_list (List.init m (fun i -> i) @ tail) in
+    let* a_edges = list_size (int_bound 8) (pair (int_bound (m - 1)) (int_bound (m - 1))) in
+    let* c_edges = list_size (int_bound 12) (pair (int_bound (n - 1)) (int_bound (n - 1))) in
+    let* i0 = int_bound (m - 1) in
+    return (m, n, q, a_edges, c_edges, i0))
+
+let prop_quotient_theorem1 =
+  QCheck2.Test.make ~name:"Theorem 1 never refuted through abstractions"
+    ~count:300 gen_quotient (fun (m, n, q, a_edges, c_edges, i0) ->
+      ignore m;
+      let a = explicit_of { n = m; edges = a_edges; inits = [ i0 ] } "A" in
+      let inits = List.filter (fun i -> q.(i) = i0) (List.init n (fun i -> i)) in
+      let c = explicit_of { n; edges = c_edges; inits } "C" in
+      let alpha = Array.init n (fun i -> Explicit.find a q.(i)) in
+      let p1 = (Cr_core.Refine.convergence_refinement ~alpha ~c ~a ()).Cr_core.Refine.holds in
+      let p2 = (Cr_core.Stabilize.self_stabilizing a).Cr_core.Stabilize.holds in
+      let concl = (Cr_core.Stabilize.stabilizing_to ~alpha ~c ~a ()).Cr_core.Stabilize.holds in
+      (not (p1 && p2)) || concl)
+
+let prop_quotient_strength =
+  QCheck2.Test.make ~name:"strength chain through abstractions" ~count:300
+    gen_quotient (fun (m, n, q, a_edges, c_edges, i0) ->
+      let a = explicit_of { n = m; edges = a_edges; inits = [ i0 ] } "A" in
+      let inits = List.filter (fun i -> q.(i) = i0) (List.init n (fun i -> i)) in
+      let c = explicit_of { n; edges = c_edges; inits } "C" in
+      let alpha = Array.init n (fun i -> Explicit.find a q.(i)) in
+      Cr_core.Theorems.strength_chain ~alpha ~c ~a ())
+
+let cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_strength_chain;
+      prop_theorem_0;
+      prop_theorem_1;
+      prop_theorem_3;
+      prop_theorem_5;
+      prop_convergence_witnesses;
+      prop_cycle_witness_valid;
+      prop_stabilization_walks;
+      prop_stabilization_bruteforce;
+      prop_quotient_theorem1;
+      prop_quotient_strength;
+    ]
+
+let () = Alcotest.run "metatheory" [ ("properties", cases) ]
