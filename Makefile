@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples doc clean
+.PHONY: all build test bench bench-json ci examples doc clean
 
 all: build
 
@@ -18,6 +18,12 @@ bench:
 
 bench-tables:
 	dune exec bench/main.exe -- --no-micro
+
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_PR1.json
+
+ci:
+	bin/ci.sh
 
 examples:
 	dune exec examples/quickstart.exe

@@ -70,6 +70,9 @@ let micro_tests () =
           fun () -> ignore (Cr_bidding.Spec.bid 5 s)));
   ]
 
+(* Run the micro-benchmarks and return one row per test, sorted by name
+   (the raw [Analyze.all] result is a [Hashtbl], whose iteration order is
+   nondeterministic). *)
 let run_micro () =
   let tests = micro_tests () in
   let instance = Instance.monotonic_clock in
@@ -77,8 +80,7 @@ let run_micro () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  hr "Checker micro-benchmarks (Bechamel, monotonic clock)";
-  pf "%-32s %-16s %s@." "benchmark" "ns/run" "r^2";
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -87,20 +89,102 @@ let run_micro () =
         (fun name ols_result ->
           let est =
             match Analyze.OLS.estimates ols_result with
-            | Some (e :: _) -> Fmt.str "%.1f" e
-            | _ -> "-"
+            | Some (e :: _) -> Some e
+            | _ -> None
           in
-          let r2 =
-            match Analyze.OLS.r_square ols_result with
-            | Some r -> Fmt.str "%.4f" r
-            | None -> "-"
-          in
-          pf "%-32s %-16s %s@." name est r2)
+          rows := (name, est, Analyze.OLS.r_square ols_result) :: !rows)
         analysis)
-    tests
+    tests;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
+
+let print_micro rows =
+  hr "Checker micro-benchmarks (Bechamel, monotonic clock)";
+  pf "%-32s %-16s %s@." "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun (name, est, r2) ->
+      let fmt_opt f = function Some v -> Fmt.str f v | None -> "-" in
+      pf "%-32s %-16s %s@." name
+        (fmt_opt "%.1f" est)
+        (fmt_opt "%.4f" r2))
+    rows
+
+(* ---------- per-N wall-clock of the full table sweep ---------- *)
+
+(* Run [f] with stdout discarded (the tables are timed, not shown twice).
+   Redirection happens at the file-descriptor level: once a domain has
+   been spawned, Format's std_formatter writes through a domain-local
+   buffer straight to [Stdlib.stdout], so swapping the formatter's
+   out-functions would no longer intercept anything. *)
+let silently f =
+  flush stdout;
+  Format.print_flush ();
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Format.print_flush ();
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+let time_report_per_n ns =
+  List.map
+    (fun n ->
+      let t0 = Unix.gettimeofday () in
+      silently (fun () -> Cr_experiments.Report.all ~ns:[ n ] ());
+      (n, Unix.gettimeofday () -. t0))
+    ns
+
+(* ---------- JSON output (hand-rolled; keep the repo dependency-free) ---------- *)
+
+let json_of_float_opt = function
+  | Some v when Float.is_finite v -> Printf.sprintf "%.4f" v
+  | Some _ | None -> "null"
+
+let write_json path micro report_wall =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"micro\": [\n";
+  List.iteri
+    (fun i (name, est, r2) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": %S, \"ns_per_run\": %s, \"r2\": %s}%s\n"
+           name
+           (json_of_float_opt est)
+           (json_of_float_opt r2)
+           (if i = List.length micro - 1 then "" else ",")))
+    micro;
+  Buffer.add_string buf "  ],\n  \"report_all_wall_s\": [\n";
+  List.iteri
+    (fun i (n, secs) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"n\": %d, \"seconds\": %.3f}%s\n" n secs
+           (if i = List.length report_wall - 1 then "" else ",")))
+    report_wall;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "wrote %s@." path
 
 let () =
   let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
-  Cr_experiments.Report.all ~ns:[ 2; 3; 4; 5 ] ();
-  if not skip_micro then run_micro ();
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
+  Cr_experiments.Report.all ~ns:[ 2; 3; 4; 5 ] ~ns_direct:[ 2; 3; 4; 5; 6 ] ();
+  let micro = if skip_micro then [] else run_micro () in
+  if not skip_micro then print_micro micro;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let wall = time_report_per_n [ 2; 3; 4; 5 ] in
+      write_json path micro wall);
   pf "@.done.@."

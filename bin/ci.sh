@@ -1,0 +1,6 @@
+#!/bin/sh
+# Minimal CI gate: full build (including benches and examples) + test suite.
+set -eu
+cd "$(dirname "$0")/.."
+dune build @all
+dune runtest

@@ -11,11 +11,17 @@
    counterpart of the Monte-Carlo mean (they are cross-checked in the
    test suite). *)
 
-let expected ?(epsilon = 1e-9) ?(max_iter = 1_000_000) ~(succ : int array array)
-    ~(target : bool array) () : float array =
+let expected ?(epsilon = 1e-9) ?(max_iter = 1_000_000) ?pred
+    ~(succ : int array array) ~(target : bool array) () : float array =
   let n = Array.length succ in
-  (* states that cannot reach the target at all diverge *)
-  let can_reach = Reach.backward ~succ ~seeds:(Reach.members target) in
+  (* states that cannot reach the target at all diverge; callers that hold
+     an explicit system pass its stored predecessor arrays to skip the
+     transposition *)
+  let can_reach =
+    match pred with
+    | Some p -> Reach.forward ~succ:p ~seeds:(Reach.members target)
+    | None -> Reach.backward ~succ ~seeds:(Reach.members target)
+  in
   (* states from which the daemon might forever avoid the target do not
      have finite expectation only if avoidance has probability 1; under
      uniform choice, any state that CAN reach the target reaches it a.s.

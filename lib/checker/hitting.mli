@@ -4,6 +4,7 @@
 val expected :
   ?epsilon:float ->
   ?max_iter:int ->
+  ?pred:int array array ->
   succ:int array array ->
   target:bool array ->
   unit ->

@@ -1,0 +1,20 @@
+(** Deterministic [Domain.spawn] fan-out for independent work items.
+
+    Items are partitioned by stride across domains and merged back by
+    index, so the result equals the sequential map regardless of the job
+    count or scheduling.  The job count defaults to the [CR_JOBS]
+    environment variable (default 1 — fully sequential, no domain is
+    spawned; 0 means [Domain.recommended_domain_count ()]).  Nested calls
+    from inside a parallel region run sequentially: the outer fan-out
+    already occupies the cores. *)
+
+val jobs_env : unit -> int
+(** Parsed value of [CR_JOBS]; 1 when unset or unparseable, the
+    recommended domain count when set to 0. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs = List.map f xs], computed on [jobs] domains.  [f] must not
+    rely on shared mutable state. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array analogue of {!map}. *)

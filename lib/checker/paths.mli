@@ -8,6 +8,20 @@ val shortest_nonempty : succ:int array array -> src:int -> dst:int -> int option
     shortest cycle).  Used to classify compression edges in the
     convergence-refinement checker. *)
 
+type oracle
+(** Memoized shortest-path queries over a fixed graph: one BFS per
+    distinct source across the oracle's lifetime, shared by all queries
+    (e.g. every non-exact edge of one [Refine.classify] run). *)
+
+val make_oracle : succ:int array array -> oracle
+
+val oracle_dist : oracle -> src:int -> int array
+(** The (memoized) BFS distance row from [src]; same contents as
+    {!bfs_distances}.  Callers must not mutate the returned array. *)
+
+val shortest_nonempty_memo : oracle -> src:int -> dst:int -> int option
+(** Same results as {!shortest_nonempty}, through the memo. *)
+
 val shortest_path : succ:int array array -> src:int -> dst:int -> int list option
 (** One shortest path, inclusive of endpoints ([src = dst] gives [[src]]). *)
 

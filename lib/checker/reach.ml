@@ -3,17 +3,20 @@
 let forward ~succ ~(seeds : int list) : bool array =
   let n = Array.length succ in
   let seen = Array.make n false in
-  let stack = Stack.create () in
+  (* flat int stack: each node is pushed at most once *)
+  let stack = Array.make n 0 in
+  let sp = ref 0 in
   let push i =
     if not seen.(i) then begin
       seen.(i) <- true;
-      Stack.push i stack
+      stack.(!sp) <- i;
+      incr sp
     end
   in
   List.iter push seeds;
-  while not (Stack.is_empty stack) do
-    let i = Stack.pop stack in
-    Array.iter push succ.(i)
+  while !sp > 0 do
+    decr sp;
+    Array.iter push succ.(stack.(!sp))
   done;
   seen
 
@@ -29,6 +32,31 @@ let transpose succ =
 let backward ~succ ~seeds = forward ~succ:(transpose succ) ~seeds
 
 let of_explicit expl = Array.init (Cr_semantics.Explicit.num_states expl) (Cr_semantics.Explicit.successors expl)
+
+let pred_of_explicit expl =
+  Array.init (Cr_semantics.Explicit.num_states expl)
+    (Cr_semantics.Explicit.predecessors expl)
+
+(* Backward reachability straight off the predecessor arrays an explicit
+   system already stores — no transposition pass, no row copying. *)
+let backward_of_explicit expl ~seeds =
+  let n = Cr_semantics.Explicit.num_states expl in
+  let seen = Array.make n false in
+  let stack = Array.make n 0 in
+  let sp = ref 0 in
+  let push i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      stack.(!sp) <- i;
+      incr sp
+    end
+  in
+  List.iter push seeds;
+  while !sp > 0 do
+    decr sp;
+    Array.iter push (Cr_semantics.Explicit.predecessors expl stack.(!sp))
+  done;
+  seen
 
 let reachable_from_initial expl =
   forward ~succ:(of_explicit expl)

@@ -11,6 +11,13 @@ val transpose : int array array -> int array array
 val of_explicit : _ Cr_semantics.Explicit.t -> int array array
 (** The adjacency array of an explicit system. *)
 
+val pred_of_explicit : _ Cr_semantics.Explicit.t -> int array array
+(** The predecessor adjacency an explicit system already stores. *)
+
+val backward_of_explicit :
+  _ Cr_semantics.Explicit.t -> seeds:int list -> bool array
+(** {!backward} using the stored predecessor arrays (no transposition). *)
+
 val reachable_from_initial : _ Cr_semantics.Explicit.t -> bool array
 (** States reachable from the initial states — for a specification [A]
     these are the "legitimate" states used by the stabilization checker. *)

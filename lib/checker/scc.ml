@@ -12,46 +12,57 @@ let compute (succ : int array array) : t =
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
   let component = Array.make n (-1) in
-  let stack = Stack.create () in
+  (* Tarjan stack and DFS call stack as flat int arrays (both bounded by
+     n), so a compute costs no allocation beyond these six arrays. *)
+  let stack = Array.make n 0 in
+  let sp = ref 0 in
+  let call_v = Array.make n 0 in
+  let call_c = Array.make n 0 in
+  let cp = ref 0 in
   let next_index = ref 0 in
   let next_comp = ref 0 in
-  (* Iterative DFS with an explicit call stack of (node, next-child). *)
-  let call = Stack.create () in
   let start v =
     index.(v) <- !next_index;
     lowlink.(v) <- !next_index;
     incr next_index;
-    Stack.push v stack;
+    stack.(!sp) <- v;
+    incr sp;
     on_stack.(v) <- true;
-    Stack.push (v, ref 0) call
+    call_v.(!cp) <- v;
+    call_c.(!cp) <- 0;
+    incr cp
   in
   for root = 0 to n - 1 do
     if index.(root) = -1 then begin
       start root;
-      while not (Stack.is_empty call) do
-        let v, child = Stack.top call in
-        if !child < Array.length succ.(v) then begin
-          let w = succ.(v).(!child) in
-          incr child;
+      while !cp > 0 do
+        let v = call_v.(!cp - 1) in
+        let c = call_c.(!cp - 1) in
+        let row = succ.(v) in
+        if c < Array.length row then begin
+          let w = row.(c) in
+          call_c.(!cp - 1) <- c + 1;
           if index.(w) = -1 then start w
-          else if on_stack.(w) then
-            lowlink.(v) <- min lowlink.(v) index.(w)
+          else if on_stack.(w) && index.(w) < lowlink.(v) then
+            lowlink.(v) <- index.(w)
         end
         else begin
-          ignore (Stack.pop call);
+          decr cp;
           if lowlink.(v) = index.(v) then begin
             let continue = ref true in
             while !continue do
-              let w = Stack.pop stack in
+              decr sp;
+              let w = stack.(!sp) in
               on_stack.(w) <- false;
               component.(w) <- !next_comp;
               if w = v then continue := false
             done;
             incr next_comp
           end;
-          if not (Stack.is_empty call) then begin
-            let parent, _ = Stack.top call in
-            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          if !cp > 0 then begin
+            let parent = call_v.(!cp - 1) in
+            if lowlink.(v) < lowlink.(parent) then
+              lowlink.(parent) <- lowlink.(v)
           end
         end
       done
@@ -69,16 +80,37 @@ let on_cycle t i = t.sizes.(t.component.(i)) >= 2
    component? *)
 let edge_on_cycle t i j = t.component.(i) = t.component.(j)
 
+(* Adjacency restricted to the masked region, allocation-light: rows kept
+   whole are shared with the input, filtered rows are built by count +
+   fill (no intermediate lists). *)
+let restrict succ mask =
+  Array.mapi
+    (fun i js ->
+      if not mask.(i) then [||]
+      else begin
+        let kept = ref 0 in
+        Array.iter (fun j -> if mask.(j) then incr kept) js;
+        if !kept = Array.length js then js
+        else begin
+          let out = Array.make !kept 0 in
+          let k = ref 0 in
+          Array.iter
+            (fun j ->
+              if mask.(j) then begin
+                out.(!k) <- j;
+                incr k
+              end)
+            js;
+          out
+        end
+      end)
+    succ
+
 (* Is the subgraph induced by [mask] acyclic?  Computed on the restricted
    adjacency. *)
 let acyclic_within succ mask =
   let n = Array.length succ in
-  let restricted =
-    Array.init n (fun i ->
-        if not mask.(i) then [||]
-        else Array.of_list (List.filter (fun j -> mask.(j)) (Array.to_list succ.(i))))
-  in
-  let t = compute restricted in
+  let t = compute (restrict succ mask) in
   let ok = ref true in
   for i = 0 to n - 1 do
     if mask.(i) && t.sizes.(t.component.(i)) >= 2 then ok := false

@@ -18,5 +18,10 @@ val edge_on_cycle : t -> int -> int -> bool
 (** Are both endpoints in the same component (so the edge closes a
     cycle)? *)
 
+val restrict : int array array -> bool array -> int array array
+(** Adjacency of the subgraph induced by the masked states (rows of
+    unmasked states are empty; rows that survive whole are shared with
+    the input, not copied). *)
+
 val acyclic_within : int array array -> bool array -> bool
 (** Is the subgraph induced by the masked states acyclic? *)

@@ -66,13 +66,7 @@ let admissible (next : tables) ~(graph : int array array)
 let analyze (next : tables) ~(succ : int array array) ~(mask : bool array) :
     analysis =
   let n = Array.length succ in
-  let restricted =
-    Array.init n (fun i ->
-        if not mask.(i) then [||]
-        else
-          Array.of_list
-            (List.filter (fun j -> mask.(j)) (Array.to_list succ.(i))))
-  in
+  let restricted = Cr_checker.Scc.restrict succ mask in
   let scc = Cr_checker.Scc.compute restricted in
   let members = Array.make scc.Cr_checker.Scc.count [] in
   for i = n - 1 downto 0 do

@@ -119,39 +119,102 @@ let failure_state = function
 
 let max_reported_failures = 10
 
-(* Classify each edge of [c] against [a] through [alpha]. *)
+(* Classified edges of the concrete system, in [Explicit.iter_edges]
+   order, as flat parallel arrays (CSR-style): edge [k] is
+   [srcs.(k) -> dsts.(k)] with class [cls.(k)]. *)
+type classified = {
+  srcs : int array;
+  dsts : int array;
+  cls : edge_class option array;
+}
+
+let iter_classified t f =
+  for k = 0 to Array.length t.srcs - 1 do
+    f t.srcs.(k) t.dsts.(k) t.cls.(k)
+  done
+
+(* Classify each edge of [c] against [a] through [alpha].  Shortest
+   abstract paths are answered by a per-source memoized BFS oracle, so
+   repeated compression queries from the same image cost one BFS total. *)
 let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
-    (int * int * edge_class option) list * stats =
+    classified * stats =
   let succ_a = Cr_checker.Reach.of_explicit a in
-  let edges = ref [] in
-  let stats = ref empty_stats in
-  Explicit.iter_edges c (fun i j ->
-      let ai = alpha.(i) and aj = alpha.(j) in
-      let cls =
-        if ai = aj then Some Stutter
-        else if Explicit.has_edge a ai aj then Some Exact
-        else
-          match Cr_checker.Paths.shortest_nonempty ~succ:succ_a ~src:ai ~dst:aj with
-          | Some len when len >= 2 -> Some (Compression len)
-          | Some _ | None -> None
-      in
-      let s = !stats in
-      let s = { s with edges = s.edges + 1 } in
-      let s =
-        match cls with
-        | Some Stutter -> { s with stutter = s.stutter + 1 }
-        | Some Exact -> { s with exact = s.exact + 1 }
-        | Some (Compression len) ->
-            {
-              s with
-              compressions = s.compressions + 1;
-              max_dropped = max s.max_dropped (len - 1);
-            }
-        | None -> s
-      in
-      stats := s;
-      edges := (i, j, cls) :: !edges);
-  (List.rev !edges, !stats)
+  let oracle = Cr_checker.Paths.make_oracle ~succ:succ_a in
+  let m = Explicit.num_transitions c in
+  let srcs = Array.make m 0 and dsts = Array.make m 0 in
+  let cls = Array.make m None in
+  let exact = ref 0 and stutter = ref 0 in
+  let compressions = ref 0 and max_dropped = ref 0 in
+  let k = ref 0 in
+  let some_stutter = Some Stutter and some_exact = Some Exact in
+  let n = Explicit.num_states c in
+  (* Row-major sweep: the source image and its abstract successor row are
+     fixed per row, so they are hoisted out of the inner edge loop. *)
+  for i = 0 to n - 1 do
+    let row = Explicit.successors c i in
+    if Array.length row > 0 then begin
+      let ai = alpha.(i) in
+      let arow = succ_a.(ai) in
+      Array.iter
+        (fun j ->
+          let aj = alpha.(j) in
+          let cl =
+            if ai = aj then some_stutter
+            else begin
+              (* binary search in the sorted abstract successor row *)
+              let lo = ref 0 and hi = ref (Array.length arow) in
+              while !hi - !lo > 1 do
+                let mid = (!lo + !hi) / 2 in
+                if arow.(mid) <= aj then lo := mid else hi := mid
+              done;
+              if !hi > !lo && arow.(!lo) = aj then some_exact
+              else
+                match
+                  Cr_checker.Paths.shortest_nonempty_memo oracle ~src:ai
+                    ~dst:aj
+                with
+                | Some len when len >= 2 -> Some (Compression len)
+                | Some _ | None -> None
+            end
+          in
+          (match cl with
+          | Some Stutter -> incr stutter
+          | Some Exact -> incr exact
+          | Some (Compression len) ->
+              incr compressions;
+              if len - 1 > !max_dropped then max_dropped := len - 1
+          | None -> ());
+          srcs.(!k) <- i;
+          dsts.(!k) <- j;
+          cls.(!k) <- cl;
+          incr k)
+        row
+    end
+  done;
+  ( { srcs; dsts; cls },
+    {
+      edges = m;
+      exact = !exact;
+      stutter = !stutter;
+      compressions = !compressions;
+      max_dropped = !max_dropped;
+    } )
+
+(* Adjacency of the stutter edges alone, built by count-then-fill (rows
+   inherit the sorted order of the classified edges). *)
+let stutter_adjacency n (classified : classified) =
+  let deg = Array.make n 0 in
+  iter_classified classified (fun i _ cls ->
+      match cls with Some Stutter -> deg.(i) <- deg.(i) + 1 | _ -> ());
+  let rows = Array.init n (fun i -> Array.make deg.(i) 0) in
+  let fill = Array.make n 0 in
+  iter_classified classified (fun i j cls ->
+      match cls with
+      | Some Stutter ->
+          rows.(i).(fill.(i)) <- j;
+          fill.(i) <- fill.(i) + 1
+      | _ -> ());
+  rows
 
 let initial_failures ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) =
   Array.to_list (Explicit.initials c)
@@ -245,8 +308,9 @@ let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
   let edge_on_cycle =
     match fair with
     | None ->
-        let scc = Cr_checker.Scc.compute succ_c in
-        fun i j -> Cr_checker.Scc.edge_on_cycle scc i j
+        (* computed on demand: only compression edges query it *)
+        let scc = lazy (Cr_checker.Scc.compute succ_c) in
+        fun i j -> Cr_checker.Scc.edge_on_cycle (Lazy.force scc) i j
     | Some tables ->
         let analysis = Fair.analyze tables ~succ:succ_c ~mask:all_mask in
         fun i j -> Fair.edge_on_fair_cycle analysis i j
@@ -254,42 +318,38 @@ let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
   let failures = ref (initial_failures ~alpha ~c ~a) in
   (* 1. Init refinement: reachable edges must be Exact. *)
   let reach = Cr_checker.Reach.reachable_from_initial c in
-  List.iter
-    (fun (i, j, cls) ->
-      if reach.(i) && cls <> Some Exact then
-        failures := Init_edge_not_exact (i, j) :: !failures)
-    classified;
+  iter_classified classified (fun i j cls ->
+      match cls with
+      | Some Exact -> ()
+      | _ ->
+          if reach.(i) then failures := Init_edge_not_exact (i, j) :: !failures);
   (* 2. Global matching + finiteness of omissions. *)
-  List.iter
-    (fun (i, j, cls) ->
+  iter_classified classified (fun i j cls ->
       match cls with
       | None -> failures := Edge_unmatched (i, j) :: !failures
       | Some (Compression _) when edge_on_cycle i j ->
           failures := Compression_on_cycle (i, j) :: !failures
-      | Some _ -> ())
-    classified;
+      | Some _ -> ());
   (* 3. Stutter-only cycles: an infinite computation of C whose image is
      eventually constant normalizes to a finite sequence, so its (constant)
-     image must be able to end a computation of A, i.e. be A-terminal. *)
-  let stutter_succ = Array.make n [] in
-  List.iter
-    (fun (i, j, cls) ->
-      if cls = Some Stutter then stutter_succ.(i) <- j :: stutter_succ.(i))
-    classified;
-  let stutter_adj = Array.map Array.of_list stutter_succ in
-  let on_stutter_cycle =
-    match fair with
-    | None ->
-        let stutter_scc = Cr_checker.Scc.compute stutter_adj in
-        fun i -> Cr_checker.Scc.on_cycle stutter_scc i
-    | Some tables ->
-        let analysis = Fair.analyze tables ~succ:stutter_adj ~mask:all_mask in
-        fun i -> analysis.Fair.fair.(i)
-  in
-  for i = 0 to n - 1 do
-    if on_stutter_cycle i && not (Explicit.is_terminal a alpha.(i)) then
-      failures := Stutter_cycle i :: !failures
-  done;
+     image must be able to end a computation of A, i.e. be A-terminal.
+     A system with no stutter edge has no such cycle — skip the pass. *)
+  (if stats.stutter > 0 then begin
+     let stutter_adj = stutter_adjacency n classified in
+     let on_stutter_cycle =
+       match fair with
+       | None ->
+           let stutter_scc = Cr_checker.Scc.compute stutter_adj in
+           fun i -> Cr_checker.Scc.on_cycle stutter_scc i
+       | Some tables ->
+           let analysis = Fair.analyze tables ~succ:stutter_adj ~mask:all_mask in
+           fun i -> analysis.Fair.fair.(i)
+     in
+     for i = 0 to n - 1 do
+       if on_stutter_cycle i && not (Explicit.is_terminal a alpha.(i)) then
+         failures := Stutter_cycle i :: !failures
+     done
+   end);
   (* 4. Terminal matching (everywhere). *)
   let failures = !failures @ terminal_failures ~alpha ~c ~a ~restrict:None in
   make_report ~relation:"⪯" ~c ~a ~stats failures
@@ -314,43 +374,40 @@ let everywhere_eventually_refinement ?alpha ?fair ~(c : _ Explicit.t)
   let edge_on_cycle =
     match fair with
     | None ->
-        let scc = Cr_checker.Scc.compute succ_c in
-        fun i j -> Cr_checker.Scc.edge_on_cycle scc i j
+        (* computed on demand: only non-exact, non-stutter edges query it *)
+        let scc = lazy (Cr_checker.Scc.compute succ_c) in
+        fun i j -> Cr_checker.Scc.edge_on_cycle (Lazy.force scc) i j
     | Some tables ->
         let analysis = Fair.analyze tables ~succ:succ_c ~mask:all_mask in
         fun i j -> Fair.edge_on_fair_cycle analysis i j
   in
   let failures = ref (initial_failures ~alpha ~c ~a) in
   let reach = Cr_checker.Reach.reachable_from_initial c in
-  List.iter
-    (fun (i, j, cls) ->
-      if reach.(i) && cls <> Some Exact then
+  iter_classified classified (fun i j cls ->
+      let is_exact = match cls with Some Exact -> true | _ -> false in
+      if reach.(i) && not is_exact then
         failures := Init_edge_not_exact (i, j) :: !failures
       else
         match cls with
         | Some Exact | Some Stutter -> ()
         | Some (Compression _) | None ->
             if edge_on_cycle i j then
-              failures := Non_exact_on_cycle (i, j) :: !failures)
-    classified;
-  let stutter_succ = Array.make n [] in
-  List.iter
-    (fun (i, j, cls) ->
-      if cls = Some Stutter then stutter_succ.(i) <- j :: stutter_succ.(i))
-    classified;
-  let stutter_adj = Array.map Array.of_list stutter_succ in
-  let on_stutter_cycle =
-    match fair with
-    | None ->
-        let stutter_scc = Cr_checker.Scc.compute stutter_adj in
-        fun i -> Cr_checker.Scc.on_cycle stutter_scc i
-    | Some tables ->
-        let analysis = Fair.analyze tables ~succ:stutter_adj ~mask:all_mask in
-        fun i -> analysis.Fair.fair.(i)
-  in
-  for i = 0 to n - 1 do
-    if on_stutter_cycle i && not (Explicit.is_terminal a alpha.(i)) then
-      failures := Stutter_cycle i :: !failures
-  done;
+              failures := Non_exact_on_cycle (i, j) :: !failures);
+  (if stats.stutter > 0 then begin
+     let stutter_adj = stutter_adjacency n classified in
+     let on_stutter_cycle =
+       match fair with
+       | None ->
+           let stutter_scc = Cr_checker.Scc.compute stutter_adj in
+           fun i -> Cr_checker.Scc.on_cycle stutter_scc i
+       | Some tables ->
+           let analysis = Fair.analyze tables ~succ:stutter_adj ~mask:all_mask in
+           fun i -> analysis.Fair.fair.(i)
+     in
+     for i = 0 to n - 1 do
+       if on_stutter_cycle i && not (Explicit.is_terminal a alpha.(i)) then
+         failures := Stutter_cycle i :: !failures
+     done
+   end);
   let failures = !failures @ terminal_failures ~alpha ~c ~a ~restrict:None in
   make_report ~relation:"⊑_ee" ~c ~a ~stats failures

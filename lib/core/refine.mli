@@ -57,13 +57,24 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+type classified = {
+  srcs : int array;  (** edge sources, in [Explicit.iter_edges] order *)
+  dsts : int array;  (** edge destinations, parallel to [srcs] *)
+  cls : edge_class option array;
+      (** per-edge class; [None] marks an unmatched edge *)
+}
+
+val iter_classified : classified -> (int -> int -> edge_class option -> unit) -> unit
+(** Iterate the classified edges in order: [f src dst class]. *)
+
 val classify :
   alpha:int array ->
   c:'c Cr_semantics.Explicit.t ->
   a:'a Cr_semantics.Explicit.t ->
-  (int * int * edge_class option) list * stats
-(** Classify every concrete transition against the abstract system.
-    [None] marks an unmatched edge. *)
+  classified * stats
+(** Classify every concrete transition against the abstract system, as
+    flat parallel arrays.  Shortest-path queries against the abstract
+    graph share one memoized BFS oracle per call. *)
 
 val init_refinement :
   ?alpha:int array ->

@@ -53,13 +53,7 @@ let pp_report fmt r =
 (* Find one cycle inside the masked region, as a witness. *)
 let find_cycle_within succ mask =
   let n = Array.length succ in
-  let restricted =
-    Array.init n (fun i ->
-        if not mask.(i) then [||]
-        else
-          Array.of_list
-            (List.filter (fun j -> mask.(j)) (Array.to_list succ.(i))))
-  in
+  let restricted = Cr_checker.Scc.restrict succ mask in
   let scc = Cr_checker.Scc.compute restricted in
   let witness = ref None in
   for i = n - 1 downto 0 do
@@ -70,13 +64,8 @@ let find_cycle_within succ mask =
   | Some i ->
       (* walk within the SCC back to i *)
       let comp = scc.Cr_checker.Scc.component.(i) in
-      let in_comp j = mask.(j) && scc.Cr_checker.Scc.component.(j) = comp in
-      let comp_succ =
-        Array.init n (fun k ->
-            if in_comp k then
-              Array.of_list (List.filter in_comp (Array.to_list restricted.(k)))
-            else [||])
-      in
+      let in_comp = Array.init n (fun j -> mask.(j) && scc.Cr_checker.Scc.component.(j) = comp) in
+      let comp_succ = Cr_checker.Scc.restrict restricted in_comp in
       let next =
         Array.to_list comp_succ.(i) |> function [] -> None | j :: _ -> Some j
       in
@@ -141,7 +130,7 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
   done;
   let succ_c = Cr_checker.Reach.of_explicit c in
   let seeds = Cr_checker.Reach.members bad_seed in
-  let reaches_bad = Cr_checker.Reach.backward ~succ:succ_c ~seeds in
+  let reaches_bad = Cr_checker.Reach.backward_of_explicit c ~seeds in
   let good = Array.map not reaches_bad in
   (* A C-terminal outside Good is itself a bad seed; find one if any. *)
   let terminal_outside =
@@ -154,24 +143,36 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
         done;
         !w
   in
-  let cycle =
+  let cycle, depths =
     match fair with
-    | None -> find_cycle_within succ_c reaches_bad
+    | None -> (
+        (* The recovery-depth DFS doubles as the cycle test: it raises
+           [Cyclic] iff the masked region has one, so the SCC-based
+           witness search only runs on failure. *)
+        match
+          Cr_checker.Paths.longest_within ~succ:succ_c ~mask:reaches_bad
+        with
+        | depths -> (None, Some depths)
+        | exception Cr_checker.Paths.Cyclic ->
+            (find_cycle_within succ_c reaches_bad, None))
     | Some tables -> (
         match (Fair.analyze tables ~succ:succ_c ~mask:reaches_bad).Fair.sccs with
-        | [] -> None
-        | scc :: _ -> Some scc)
+        | [] -> (None, None)
+        | scc :: _ -> (Some scc, None))
   in
   let holds = cycle = None && terminal_outside = None in
   let worst =
     if holds then
       (* Under weak fairness the non-converged region may still contain
          (unfair) cycles; recovery is then finite but unbounded. *)
-      match
-        Cr_checker.Paths.longest_within ~succ:succ_c ~mask:reaches_bad
-      with
-      | depths -> Some (Array.fold_left max 0 depths)
-      | exception Cr_checker.Paths.Cyclic -> None
+      match depths with
+      | Some depths -> Some (Array.fold_left max 0 depths)
+      | None -> (
+          match
+            Cr_checker.Paths.longest_within ~succ:succ_c ~mask:reaches_bad
+          with
+          | depths -> Some (Array.fold_left max 0 depths)
+          | exception Cr_checker.Paths.Cyclic -> None)
     else None
   in
   {

@@ -7,6 +7,11 @@ let hr title = pf "@.======== %s ========@." title
 
 let yn b = if b then "yes" else "NO"
 
+(* Per-N rows of one table are independent, so they are computed with the
+   CR_JOBS fan-out and printed afterwards in sweep order; the output never
+   depends on the job count. *)
+let par_rows = Cr_checker.Par.map
+
 (* ---------- experiment tables ---------- *)
 
 let table_fig1 () =
@@ -52,9 +57,8 @@ let wrapped_table title exp ns =
   hr title;
   pf "%-4s %-8s %-14s %-14s %-14s %s@." "N" "|Sigma|" "unfair-daemon"
     "weakly-fair" "preemptive-W" "worst(prio)";
-  List.iter
-    (fun n ->
-      let v : Ring_exps.wrapped_verdicts = exp n in
+  List.iter2
+    (fun n (v : Ring_exps.wrapped_verdicts) ->
       pf "%-4d %-8d %-14s %-14s %-14s %s@." n
         v.Ring_exps.states
         (yn v.Ring_exps.union)
@@ -63,64 +67,66 @@ let wrapped_table title exp ns =
         (match v.Ring_exps.worst_priority with
         | Some w -> string_of_int w
         | None -> "-"))
-    ns
+    ns (par_rows exp ns)
 
 let refinement_table title exp ns =
   hr title;
   pf "%-4s %-8s %-8s %-8s %-10s %-10s %s@." "N" "holds" "edges" "exact"
     "stutter" "compress" "max-drop";
-  List.iter
-    (fun n ->
-      let r : Cr_core.Refine.report = exp n in
+  List.iter2
+    (fun n (r : Cr_core.Refine.report) ->
       let s = r.Cr_core.Refine.stats in
       pf "%-4d %-8s %-8d %-8d %-10d %-10d %d@." n (yn r.Cr_core.Refine.holds)
         s.Cr_core.Refine.edges s.Cr_core.Refine.exact s.Cr_core.Refine.stutter
         s.Cr_core.Refine.compressions s.Cr_core.Refine.max_dropped)
-    ns
+    ns (par_rows exp ns)
 
 let direct_table title exp ns =
   hr title;
   pf "%-4s %-8s %-8s %-8s %s@." "N" "|Sigma|" "|L|" "holds" "worst-case";
-  List.iter
-    (fun n ->
-      let v : Ring_exps.direct = exp n in
+  List.iter2
+    (fun n (v : Ring_exps.direct) ->
       pf "%-4d %-8d %-8d %-8s %s@." n v.Ring_exps.states
         v.Ring_exps.legitimate
         (yn v.Ring_exps.holds)
         (match v.Ring_exps.worst_case with
         | Some w -> string_of_int w
         | None -> "-"))
-    ns
+    ns (par_rows exp ns)
 
 let table_rewriting ns =
   hr "E10 Rewriting claims (transition-graph equalities)";
   pf "%-4s %-24s %-24s %s@." "N" "merged=Dijkstra3" "aggressive=Dijkstra3"
     "C2[]W2'=C2";
-  List.iter
-    (fun n ->
-      let a, b, c = Ring_exps.rewriting_claims n in
-      pf "%-4d %-24s %-24s %s@." n (yn a) (yn b) (yn c))
-    ns
+  List.iter2
+    (fun n (a, b, c) -> pf "%-4d %-24s %-24s %s@." n (yn a) (yn b) (yn c))
+    ns (par_rows Ring_exps.rewriting_claims ns)
 
 let table_kstate ns =
   hr "E11 K-state protocol (unidirectional ring, reconstruction)";
   pf "%-4s %-10s %-12s %-12s %-18s %s@." "N" "procs" "minimal-K"
     "K=N+1 holds" "[K ⪯ UTR[]W]" "worst(K=N+1)";
-  List.iter
-    (fun n ->
-      let mk = Ring_exps.kstate_minimal_k n in
-      let st = Ring_exps.kstate_stabilizes ~n ~k:(n + 1) in
-      let refines =
-        (Ring_exps.kstate_refines_wrapped_utr ~n ~k:(n + 1))
-          .Cr_core.Refine.holds
-      in
+  let rows =
+    par_rows
+      (fun n ->
+        let mk = Ring_exps.kstate_minimal_k n in
+        let st = Ring_exps.kstate_stabilizes ~n ~k:(n + 1) in
+        let refines =
+          (Ring_exps.kstate_refines_wrapped_utr ~n ~k:(n + 1))
+            .Cr_core.Refine.holds
+        in
+        (mk, st, refines))
+      ns
+  in
+  List.iter2
+    (fun n (mk, st, refines) ->
       pf "%-4d %-10d %-12d %-12s %-18s %s@." n (n + 1) mk
         (yn st.Cr_core.Stabilize.holds)
         (yn refines)
         (match st.Cr_core.Stabilize.worst_case_recovery with
         | Some w -> string_of_int w
         | None -> "-"))
-    ns;
+    ns rows;
   let union, priority = Ring_exps.utr_wrapped_stabilization 3 in
   pf "(UTR[]W1u[]W2u stabilizing to UTR at N=3: unfair %s, preemptive %s)@."
     (yn union) (yn priority)
@@ -160,16 +166,17 @@ let table_cost ns =
   pf "%-22s %-4s %-8s %-7s %-9s %s@." "system" "N" "|Sigma|" "worst" "mean"
     "max-observed";
   let rows =
-    List.concat_map
-      (fun n ->
-        [
-          Cost_exps.dijkstra3_row ~samples:200 n;
-          Cost_exps.dijkstra4_row ~samples:200 n;
-          Cost_exps.c1_row ~samples:200 n;
-          Cost_exps.new3_priority_row ~samples:200 n;
-          Cost_exps.kstate_row ~samples:200 n;
-        ])
-      ns
+    List.concat
+      (par_rows
+         (fun n ->
+           [
+             Cost_exps.dijkstra3_row ~samples:200 n;
+             Cost_exps.dijkstra4_row ~samples:200 n;
+             Cost_exps.c1_row ~samples:200 n;
+             Cost_exps.new3_priority_row ~samples:200 n;
+             Cost_exps.kstate_row ~samples:200 n;
+           ])
+         ns)
   in
   List.iter
     (fun r ->
@@ -184,16 +191,18 @@ let table_synchronous ns =
   hr "E16 Synchronous daemon (extension): all enabled processes fire at once";
   pf "%-4s %-18s %-18s %s@." "N" "Dijkstra-3state" "Dijkstra-4state"
     "K-state(K=N+1)";
-  List.iter
-    (fun n ->
-      let v3 = Ext_exps.sync_dijkstra3 n in
-      let v4 = Ext_exps.sync_dijkstra4 n in
-      let vk = Ext_exps.sync_kstate n in
+  List.iter2
+    (fun n (v3, v4, vk) ->
       pf "%-4d %-18s %-18s %s@." n
         (yn v3.Ext_exps.stabilizes)
         (yn v4.Ext_exps.stabilizes)
         (yn vk.Ext_exps.stabilizes))
     ns
+    (par_rows
+       (fun n ->
+         (Ext_exps.sync_dijkstra3 n, Ext_exps.sync_dijkstra4 n,
+          Ext_exps.sync_kstate n))
+       ns)
 
 let table_rw () =
   hr "E17 Read/write atomicity refinement of Dijkstra-3 (extension)";
@@ -215,20 +224,24 @@ let table_hitting ns =
   hr "E18 Exact expected recovery (uniform random daemon, value iteration)";
   pf "%-18s %-4s %-16s %-16s %s@." "system" "N" "worst(advers.)" "E[steps] worst"
     "E[steps] mean";
-  List.iter
-    (fun n ->
+  List.iter2
+    (fun n rows ->
       List.iter
         (fun (h : Ext_exps.hitting_row) ->
           pf "%-18s %-4d %-16d %-16.2f %.2f@." h.Ext_exps.system n
             h.Ext_exps.worst_exact
             h.Ext_exps.expected_worst
             h.Ext_exps.expected_mean)
-        [
-          Ext_exps.hitting_dijkstra3 n;
-          Ext_exps.hitting_dijkstra4 n;
-          Ext_exps.hitting_kstate n;
-        ])
+        rows)
     ns
+    (par_rows
+       (fun n ->
+         [
+           Ext_exps.hitting_dijkstra3 n;
+           Ext_exps.hitting_dijkstra4 n;
+           Ext_exps.hitting_kstate n;
+         ])
+       ns)
 
 let table_spans () =
   hr "E19 Fault spans (extension): recovery cost vs number of faults";
@@ -262,71 +275,83 @@ let table_wrapper_refinement ns =
   hr "E7b Section 5.1: the local wrapper W1'' vs the global W1'";
   pf "%-4s %-14s %-14s %-14s %-14s %s@." "N" "[W1''⊑W1']in" "[W1''⊑W1']"
     "[W1''⪯W1']" "[W1''⊑ee]" "global-W1'-prio";
-  List.iter
-    (fun n ->
-      let v = Ring_exps.wrapper_refinement n in
+  List.iter2
+    (fun n v ->
       pf "%-4d %-14s %-14s %-14s %-14s %s@." n
         (yn v.Ring_exps.w1''_init)
         (yn v.Ring_exps.w1''_everywhere)
         (yn v.Ring_exps.w1''_convergence)
         (yn v.Ring_exps.w1''_ee)
         (yn v.Ring_exps.global_w1'_priority_stabilizes))
-    ns
+    ns (par_rows Ring_exps.wrapper_refinement ns)
 
 let table_mutex ns =
   hr "E20 Mutual-exclusion service view (extension): safety, liveness, I4";
   pf "%-4s %-18s %-9s %-10s %s@." "N" "system" "safety" "liveness" "I4";
-  List.iter
+  let rows =
+    par_rows
+      (fun n ->
+        List.map
+          (fun (name, p, to_tokens, privileged) ->
+            let e = Cr_guarded.Program.to_explicit p in
+            let btr =
+              Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n)
+            in
+            let alpha =
+              Cr_semantics.Abstraction.tabulate
+                (Cr_semantics.Abstraction.make ~name:"t" to_tokens)
+                e btr
+            in
+            let r = Cr_core.Stabilize.stabilizing_to ~alpha ~c:e ~a:btr () in
+            let good = r.Cr_core.Stabilize.good_mask in
+            let v =
+              Cr_tokenring.Mutex.check ~privileged ~num_procs:(n + 1) p ~good e
+            in
+            let i4 =
+              Cr_tokenring.Mutex.i4_equal_frequency n p ~to_tokens ~good e
+            in
+            (name, v.Cr_tokenring.Mutex.safety, v.Cr_tokenring.Mutex.liveness, i4))
+          [
+            ( "Dijkstra-3state",
+              Cr_tokenring.Btr3.dijkstra3 n,
+              Cr_tokenring.Btr3.to_tokens n,
+              fun s j ->
+                Cr_tokenring.Btr3.has_up n s j || Cr_tokenring.Btr3.has_dn n s j
+            );
+            ( "Dijkstra-4state",
+              Cr_tokenring.Btr4.dijkstra4 n,
+              Cr_tokenring.Btr4.to_tokens n,
+              fun s j ->
+                let ts = Cr_tokenring.Btr4.to_tokens n s in
+                Cr_tokenring.Btr.up n ts j || Cr_tokenring.Btr.dn n ts j );
+          ])
+      ns
+  in
+  List.iter2
     (fun n ->
-      List.iter
-        (fun (name, p, to_tokens, privileged) ->
-          let e = Cr_guarded.Program.to_explicit p in
-          let btr = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n) in
-          let alpha =
-            Cr_semantics.Abstraction.tabulate
-              (Cr_semantics.Abstraction.make ~name:"t" to_tokens)
-              e btr
-          in
-          let r = Cr_core.Stabilize.stabilizing_to ~alpha ~c:e ~a:btr () in
-          let good = r.Cr_core.Stabilize.good_mask in
-          let v =
-            Cr_tokenring.Mutex.check ~privileged ~num_procs:(n + 1) p ~good e
-          in
-          let i4 =
-            Cr_tokenring.Mutex.i4_equal_frequency n p ~to_tokens ~good e
-          in
-          pf "%-4d %-18s %-9s %-10s %s@." n name
-            (yn v.Cr_tokenring.Mutex.safety)
-            (yn v.Cr_tokenring.Mutex.liveness)
-            (yn i4))
-        [
-          ( "Dijkstra-3state",
-            Cr_tokenring.Btr3.dijkstra3 n,
-            Cr_tokenring.Btr3.to_tokens n,
-            fun s j ->
-              Cr_tokenring.Btr3.has_up n s j || Cr_tokenring.Btr3.has_dn n s j );
-          ( "Dijkstra-4state",
-            Cr_tokenring.Btr4.dijkstra4 n,
-            Cr_tokenring.Btr4.to_tokens n,
-            fun s j ->
-              let ts = Cr_tokenring.Btr4.to_tokens n s in
-              Cr_tokenring.Btr.up n ts j || Cr_tokenring.Btr.dn n ts j );
-        ])
-    ns
+      List.iter (fun (name, safety, liveness, i4) ->
+          pf "%-4d %-18s %-9s %-10s %s@." n name (yn safety) (yn liveness)
+            (yn i4)))
+    ns rows
 
-(* Run every table in order. *)
-let all ?(ns = [ 2; 3; 4 ]) () =
+(* Run every table in order.  [ns_direct] (default [ns]) applies to the
+   cheap direct stabilization sweeps (E4, E6, E8/Theorem 11) that scale to
+   larger rings than the refinement tables; the bench harness passes a
+   longer list there. *)
+let all ?(ns = [ 2; 3; 4 ]) ?ns_direct () =
+  let ns_direct = Option.value ~default:ns ns_direct in
   pf "Convergence Refinement — experiment tables (paper: Demirbas & Arora, \
       ICDCS 2002)@.";
   table_fig1 ();
   table_vm ();
   table_bidding ();
   wrapped_table "E4  Theorem 6: (BTR [] W1 [] W2) stabilizing to BTR"
-    Ring_exps.theorem6 ns;
+    Ring_exps.theorem6 ns_direct;
   refinement_table "E5  Lemma 7: [C1 ⪯ BTR] via alpha4" Ring_exps.lemma7 ns;
-  direct_table "E6  Theorem 8: C1 stabilizing to BTR" Ring_exps.theorem8_c1 ns;
+  direct_table "E6  Theorem 8: C1 stabilizing to BTR" Ring_exps.theorem8_c1
+    ns_direct;
   direct_table "E6  Theorem 8 (optimized): Dijkstra's 4-state stabilizing to BTR"
-    Ring_exps.theorem8_dijkstra4 ns;
+    Ring_exps.theorem8_dijkstra4 ns_direct;
   wrapped_table "E7  Lemma 9: (BTR3 [] W1'' [] W2') stabilizing to BTR"
     Ring_exps.lemma9 ns;
   table_wrapper_refinement ns;
@@ -334,7 +359,7 @@ let all ?(ns = [ 2; 3; 4 ]) () =
     "E8  Lemma 10 (strict, same state space): [C2[]W1''[]W2' ⪯ BTR3[]W1''[]W2']"
     Ring_exps.lemma10 [ 2; 3 ];
   direct_table "E8  Theorem 11: Dijkstra's 3-state stabilizing to BTR"
-    Ring_exps.theorem11_dijkstra3 ns;
+    Ring_exps.theorem11_dijkstra3 ns_direct;
   wrapped_table
     "E8  Theorem 11 (composition): (C2 [] W1'' [] W2') stabilizing to BTR"
     Ring_exps.theorem11_c2w ns;

@@ -95,7 +95,10 @@ let analyze ?(max_k = 8) (p : Program.t)
   let dist = min_faults ~succ ~fault_succ ~sources in
   let not_good = Array.map not good in
   let depth = Cr_checker.Paths.longest_within ~succ ~mask:not_good in
-  let expected = Cr_checker.Hitting.expected ~succ ~target:good () in
+  let expected =
+    Cr_checker.Hitting.expected ~succ
+      ~pred:(Cr_checker.Reach.pred_of_explicit e) ~target:good ()
+  in
   let n = Array.length succ in
   let rec rows k prev_span acc =
     if k > max_k then List.rev acc

@@ -45,21 +45,32 @@ let slot t name =
 let num_states t =
   Array.fold_left (fun acc v -> acc * v.dom) 1 t.vars
 
+(* Mixed-radix state indexing (slot 0 is the least significant digit, so
+   ranks agree with the historical [enumerate] order).  [rank] and
+   [unrank] are mutually inverse bijections between valid states and
+   [0 .. num_states - 1]; both are O(num_vars) integer arithmetic. *)
+
+let rank t (s : state) =
+  let n = Array.length t.vars in
+  let k = ref 0 in
+  for i = n - 1 downto 0 do
+    k := (!k * t.vars.(i).dom) + s.(i)
+  done;
+  !k
+
+let unrank t k =
+  let n = Array.length t.vars in
+  let s = Array.make n 0 in
+  let k = ref k in
+  for i = 0 to n - 1 do
+    let d = t.vars.(i).dom in
+    s.(i) <- !k mod d;
+    k := !k / d
+  done;
+  s
+
 (* Enumerate all states in mixed-radix order (slot 0 fastest). *)
-let enumerate t =
-  let n = num_vars t in
-  let total = num_states t in
-  let decode k =
-    let s = Array.make n 0 in
-    let k = ref k in
-    for i = 0 to n - 1 do
-      let d = t.vars.(i).dom in
-      s.(i) <- !k mod d;
-      k := !k / d
-    done;
-    s
-  in
-  List.init total decode
+let enumerate t = List.init (num_states t) (unrank t)
 
 let valid t (s : state) =
   Array.length s = num_vars t

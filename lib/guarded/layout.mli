@@ -23,6 +23,14 @@ val slot : t -> string -> int
 val num_states : t -> int
 (** Product of the domain sizes. *)
 
+val rank : t -> state -> int
+(** Mixed-radix index of a valid state, in [0 .. num_states - 1]; slot 0
+    is the least significant digit, matching the {!enumerate} order.
+    O(num_vars) integer arithmetic; unchecked (see {!valid}). *)
+
+val unrank : t -> int -> state
+(** Inverse of {!rank}: the state at a given index. *)
+
 val enumerate : t -> state list
 (** All states, in mixed-radix order (slot 0 fastest). *)
 

@@ -50,29 +50,40 @@ let firings t s =
 
 let step t s = List.map snd (firings t s)
 
-let to_system ?(priority_of : (Action.t -> bool) option) t =
-  let step =
-    match priority_of with
-    | None -> step t
-    | Some is_wrapper ->
-        (* Wrapper actions preempt base actions wherever one can fire. *)
-        fun s ->
-          let fs = firings t s in
-          let wrapper_moves =
-            List.filter_map
-              (fun (a, s') -> if is_wrapper a then Some s' else None)
-              fs
-          in
-          if wrapper_moves <> [] then wrapper_moves else List.map snd fs
-  in
+let step_fn ?(priority_of : (Action.t -> bool) option) t =
+  match priority_of with
+  | None -> step t
+  | Some is_wrapper ->
+      (* Wrapper actions preempt base actions wherever one can fire. *)
+      fun s ->
+        let fs = firings t s in
+        let wrapper_moves =
+          List.filter_map
+            (fun (a, s') -> if is_wrapper a then Some s' else None)
+            fs
+        in
+        if wrapper_moves <> [] then wrapper_moves else List.map snd fs
+
+let to_system ?priority_of t =
   Cr_semantics.System.make ~name:t.name
     ~states:(Layout.enumerate t.layout)
-    ~step ~is_initial:t.initial
+    ~step:(step_fn ?priority_of t) ~is_initial:t.initial
     ~pp:(Layout.pp_state t.layout)
     ()
 
+(* Compile straight to the explicit graph through the layout's mixed-radix
+   rank/unrank — O(num_vars) arithmetic indexing per state, no hashtable. *)
+let explicit_of_step ~name ~layout ~step ~initial =
+  Cr_semantics.Explicit.of_indexed ~name
+    ~num_states:(Layout.num_states layout)
+    ~state:(Layout.unrank layout)
+    ~index:(fun s -> if Layout.valid layout s then Some (Layout.rank layout s) else None)
+    ~step ~is_initial:initial
+    ~pp_state:(Layout.pp_state layout)
+
 let to_explicit ?priority_of t =
-  Cr_semantics.Explicit.of_system (to_system ?priority_of t)
+  explicit_of_step ~name:t.name ~layout:t.layout
+    ~step:(step_fn ?priority_of t) ~initial:t.initial
 
 (* Box with wrapper priority, compiled directly to a system: wrapper
    actions preempt the base program's actions. *)
@@ -129,7 +140,10 @@ let to_system_synchronous t =
     ()
 
 let to_explicit_synchronous t =
-  Cr_semantics.Explicit.of_system (to_system_synchronous t)
+  explicit_of_step ~name:(t.name ^ "[sync]") ~layout:t.layout
+    ~step:(fun s ->
+      match synchronous_step t s with None -> [] | Some s' -> [ s' ])
+    ~initial:t.initial
 
 (* Reachability closure at the program level, used to define the initial
    states of concrete systems as the orbit of canonical legitimate

@@ -1,15 +1,20 @@
 (* Indexed explicit-state representation of a system.  States are numbered
    0..n-1; the transition relation is an adjacency array with self-loops
    removed (no-op steps are stuttering, dropped per DESIGN.md section 2)
-   and duplicate edges deduplicated. *)
+   and duplicate edges deduplicated.
+
+   Indexing is a function, not a table: systems whose state space has
+   arithmetic structure (e.g. guarded-command layouts with mixed-radix
+   ranks) plug in an O(1) index with no hashing; generic enumerations fall
+   back to a hashtable built once at construction. *)
 
 exception Unknown_state of string
 
 type 'a t = {
   name : string;
   states : 'a array;
-  lookup : ('a, int) Hashtbl.t;
-  succ : int array array;
+  index : 'a -> int option;  (* inverse of [states.(_)] *)
+  succ : int array array;  (* each row sorted ascending, deduplicated *)
   pred : int array array;
   is_initial : bool array;
   initials : int array;
@@ -28,10 +33,10 @@ let pp_state t fmt i = t.pp_state fmt t.states.(i)
 
 let state_to_string t i = Fmt.str "%a" (fun fmt -> t.pp_state fmt) t.states.(i)
 
-let find_opt t s = Hashtbl.find_opt t.lookup s
+let find_opt t s = t.index s
 
 let find t s =
-  match Hashtbl.find_opt t.lookup s with
+  match t.index s with
   | Some i -> i
   | None -> raise (Unknown_state t.name)
 
@@ -45,7 +50,16 @@ let initials t = t.initials
 
 let is_terminal t i = Array.length t.succ.(i) = 0
 
-let has_edge t i j = Array.exists (fun k -> k = j) t.succ.(i)
+(* Successor rows are sorted, so membership is a binary search — this is
+   the innermost operation of every refinement/stabilization checker. *)
+let has_edge t i j =
+  let a = t.succ.(i) in
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= j then lo := mid else hi := mid
+  done;
+  !hi > !lo && a.(!lo) = j
 
 let num_transitions t =
   Array.fold_left (fun acc a -> acc + Array.length a) 0 t.succ
@@ -62,12 +76,58 @@ let sorted_dedup l =
   let l = List.sort_uniq compare l in
   Array.of_list l
 
-let transpose n succ =
-  let preds = Array.make n [] in
-  Array.iteri (fun i js -> Array.iter (fun j -> preds.(j) <- i :: preds.(j)) js) succ;
-  Array.map sorted_dedup preds
+(* Union of two sorted deduplicated rows, preserving both invariants. *)
+let merge_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let out = Array.make (la + lb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < la && !j < lb do
+      let x = a.(!i) and y = b.(!j) in
+      let v = if x <= y then x else y in
+      if x <= v then incr i;
+      if y <= v then incr j;
+      out.(!k) <- v;
+      incr k
+    done;
+    while !i < la do out.(!k) <- a.(!i); incr i; incr k done;
+    while !j < lb do out.(!k) <- b.(!j); incr j; incr k done;
+    if !k = la + lb then out else Array.sub out 0 !k
+  end
 
-let of_edge_lists ~name ~states ~pp_state ~is_initial ~succ_lists =
+let transpose n succ =
+  let deg = Array.make n 0 in
+  Array.iter (fun js -> Array.iter (fun j -> deg.(j) <- deg.(j) + 1) js) succ;
+  let preds = Array.init n (fun j -> Array.make deg.(j) 0) in
+  let fill = Array.make n 0 in
+  (* visiting sources in ascending order keeps each row sorted *)
+  Array.iteri
+    (fun i js ->
+      Array.iter
+        (fun j ->
+          preds.(j).(fill.(j)) <- i;
+          fill.(j) <- fill.(j) + 1)
+        js)
+    succ;
+  preds
+
+let initials_of is_initial_arr =
+  let n = Array.length is_initial_arr in
+  let count = ref 0 in
+  Array.iter (fun b -> if b then incr count) is_initial_arr;
+  let out = Array.make !count 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if is_initial_arr.(i) then begin
+      out.(!k) <- i;
+      incr k
+    end
+  done;
+  out
+
+let hashtbl_index states name =
   let n = Array.length states in
   let lookup = Hashtbl.create (2 * n + 1) in
   Array.iteri
@@ -77,6 +137,11 @@ let of_edge_lists ~name ~states ~pp_state ~is_initial ~succ_lists =
           (Printf.sprintf "Explicit: duplicate state in enumeration of %s" name);
       Hashtbl.add lookup s i)
     states;
+  fun s -> Hashtbl.find_opt lookup s
+
+let of_edge_lists ~name ~states ~pp_state ~is_initial ~succ_lists =
+  let n = Array.length states in
+  let index = hashtbl_index states name in
   let succ =
     Array.mapi
       (fun i js -> sorted_dedup (List.filter (fun j -> j <> i) js))
@@ -84,29 +149,43 @@ let of_edge_lists ~name ~states ~pp_state ~is_initial ~succ_lists =
   in
   let pred = transpose n succ in
   let is_initial_arr = Array.map is_initial states in
-  let initials =
-    Array.of_list
-      (List.filter
-         (fun i -> is_initial_arr.(i))
-         (List.init n (fun i -> i)))
+  { name; states; index; succ; pred; is_initial = is_initial_arr;
+    initials = initials_of is_initial_arr; pp_state }
+
+(* Direct indexed constructor: [state]/[index] must be mutually inverse
+   bijections between [0 .. num_states - 1] and Sigma (e.g. mixed-radix
+   rank/unrank of a variable layout).  No hashing, no duplicate scan: the
+   whole compilation is O(num_states * branching * cost(index)). *)
+let of_indexed ~name ~num_states ~state ~index ~step ~is_initial ~pp_state =
+  let states = Array.init num_states state in
+  let to_index s =
+    match index s with
+    | Some j -> j
+    | None ->
+        raise
+          (Unknown_state
+             (Fmt.str "%s: step produced a state outside Sigma: %a" name
+                pp_state s))
   in
-  { name; states; lookup; succ; pred; is_initial = is_initial_arr; initials;
-    pp_state }
+  let succ =
+    Array.init num_states (fun i ->
+        sorted_dedup
+          (List.filter_map
+             (fun s' ->
+               let j = to_index s' in
+               if j = i then None else Some j)
+             (step states.(i))))
+  in
+  let pred = transpose num_states succ in
+  let is_initial_arr = Array.map is_initial states in
+  { name; states; index; succ; pred; is_initial = is_initial_arr;
+    initials = initials_of is_initial_arr; pp_state }
 
 let of_system (sys : 'a System.t) =
   let states = Array.of_list sys.System.states in
-  let n = Array.length states in
-  let lookup = Hashtbl.create (2 * n + 1) in
-  Array.iteri
-    (fun i s ->
-      if Hashtbl.mem lookup s then
-        invalid_arg
-          (Printf.sprintf "Explicit: duplicate state in enumeration of %s"
-             sys.System.name);
-      Hashtbl.add lookup s i)
-    states;
+  let index = hashtbl_index states sys.System.name in
   let to_index s =
-    match Hashtbl.find_opt lookup s with
+    match index s with
     | Some i -> i
     | None ->
         raise
@@ -114,11 +193,21 @@ let of_system (sys : 'a System.t) =
              (Fmt.str "%s: step produced a state outside Sigma: %a"
                 sys.System.name sys.System.pp s))
   in
-  let succ_lists =
-    Array.map (fun s -> List.map to_index (sys.System.step s)) states
+  let n = Array.length states in
+  let succ =
+    Array.init n (fun i ->
+        sorted_dedup
+          (List.filter_map
+             (fun s' ->
+               let j = to_index s' in
+               if j = i then None else Some j)
+             (sys.System.step states.(i))))
   in
-  of_edge_lists ~name:sys.System.name ~states ~pp_state:sys.System.pp
-    ~is_initial:sys.System.is_initial ~succ_lists
+  let pred = transpose n succ in
+  let is_initial_arr = Array.map sys.System.is_initial states in
+  { name = sys.System.name; states; index; succ; pred;
+    is_initial = is_initial_arr; initials = initials_of is_initial_arr;
+    pp_state = sys.System.pp }
 
 (* Box on explicit systems over the same enumeration. *)
 let same_states t1 t2 =
@@ -127,17 +216,17 @@ let same_states t1 t2 =
       Array.iteri (fun i s -> if not (s = t2.states.(i)) then ok := false) t1.states;
       !ok)
 
+(* Union of the transition relations, directly on the adjacency arrays:
+   no state re-hashing, no per-state closure lists.  Initial states come
+   from the left operand. *)
 let box ?name t1 t2 =
   if not (same_states t1 t2) then
     invalid_arg "Explicit.box: systems do not share a state space";
   let name = match name with Some n -> n | None -> t1.name ^ "[]" ^ t2.name in
-  let succ_lists =
-    Array.init (Array.length t1.states) (fun i ->
-        Array.to_list t1.succ.(i) @ Array.to_list t2.succ.(i))
-  in
-  of_edge_lists ~name ~states:t1.states ~pp_state:t1.pp_state
-    ~is_initial:(fun s -> t1.is_initial.(Hashtbl.find t1.lookup s))
-    ~succ_lists
+  let n = Array.length t1.states in
+  let succ = Array.init n (fun i -> merge_sorted t1.succ.(i) t2.succ.(i)) in
+  let pred = transpose n succ in
+  { t1 with name; succ; pred }
 
 let same_transitions t1 t2 =
   same_states t1 t2
@@ -147,10 +236,4 @@ let same_transitions t1 t2 =
 
 let with_initials t pred =
   let is_initial_arr = Array.map pred t.states in
-  let initials =
-    Array.of_list
-      (List.filter
-         (fun i -> is_initial_arr.(i))
-         (List.init (Array.length t.states) (fun i -> i)))
-  in
-  { t with is_initial = is_initial_arr; initials }
+  { t with is_initial = is_initial_arr; initials = initials_of is_initial_arr }

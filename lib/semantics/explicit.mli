@@ -25,6 +25,22 @@ val of_edge_lists :
   'a t
 (** Low-level constructor from adjacency lists (indices). *)
 
+val of_indexed :
+  name:string ->
+  num_states:int ->
+  state:(int -> 'a) ->
+  index:('a -> int option) ->
+  step:('a -> 'a list) ->
+  is_initial:('a -> bool) ->
+  pp_state:(Format.formatter -> 'a -> unit) ->
+  'a t
+(** Compile a system whose state space carries its own O(1) indexing:
+    [state]/[index] must be mutually inverse bijections between
+    [0 .. num_states - 1] and Sigma (e.g. the mixed-radix rank/unrank of
+    a {!Cr_guarded.Layout}).  Unlike {!of_system} there is no hashtable
+    and no duplicate scan.  Raises {!Unknown_state} if [step] escapes the
+    indexed space ([index] returns [None]). *)
+
 val name : _ t -> string
 val rename : string -> 'a t -> 'a t
 val num_states : _ t -> int
@@ -38,6 +54,8 @@ val is_initial : _ t -> int -> bool
 val initials : _ t -> int array
 val is_terminal : _ t -> int -> bool
 val has_edge : _ t -> int -> int -> bool
+(** Binary search over the sorted successor row: O(log branching). *)
+
 val iter_edges : _ t -> (int -> int -> unit) -> unit
 val fold_edges : _ t -> (int -> int -> 'acc -> 'acc) -> 'acc -> 'acc
 

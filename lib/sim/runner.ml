@@ -53,22 +53,35 @@ let convergence_stats ?(samples = 200) ?(max_steps = 100_000) ~seed
     Array.init (Layout.num_vars layout) (fun i ->
         Random.State.int rng (Layout.dom layout i))
   in
-  let results = ref [] in
-  for i = 1 to samples do
-    let d = mk_daemon i in
-    match steps_to ~converged d p ~start:(random_state ()) ~max_steps with
-    | Some k -> results := k :: !results
-    | None -> ()
-  done;
-  let conv = List.length !results in
-  let total = List.fold_left ( + ) 0 !results in
+  (* Episodes are seeded sequentially (one daemon and one start state per
+     sample, in sample order) so the random draws never depend on the job
+     count; only the independent runs fan out across domains. *)
+  let episodes =
+    Array.init samples (fun i -> (mk_daemon (i + 1), random_state ()))
+  in
+  let outcomes =
+    Cr_checker.Par.map_array
+      (fun (d, start) -> steps_to ~converged d p ~start ~max_steps)
+      episodes
+  in
+  let conv = ref 0 and total = ref 0 in
+  let maxi = ref 0 and mini = ref max_int in
+  Array.iter
+    (function
+      | Some k ->
+          incr conv;
+          total := !total + k;
+          if k > !maxi then maxi := k;
+          if k < !mini then mini := k
+      | None -> ())
+    outcomes;
   {
     samples;
-    converged = conv;
-    mean_steps = (if conv = 0 then nan else float_of_int total /. float_of_int conv);
-    max_steps_observed = List.fold_left max 0 !results;
-    min_steps_observed =
-      (if conv = 0 then 0 else List.fold_left min max_int !results);
+    converged = !conv;
+    mean_steps =
+      (if !conv = 0 then nan else float_of_int !total /. float_of_int !conv);
+    max_steps_observed = !maxi;
+    min_steps_observed = (if !conv = 0 then 0 else !mini);
   }
 
 let pp_trace ?(limit = 30) (p : Program.t) fmt (t : trace) =

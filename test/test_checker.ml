@@ -131,8 +131,75 @@ let prop_bfs_path_agree =
       done;
       !ok)
 
+let prop_oracle_eq_fresh_bfs =
+  QCheck2.Test.make ~name:"memoized oracle = fresh BFS shortest_nonempty"
+    ~count:100 gen_graph (fun g ->
+      let adj = adj_of g in
+      let n = Array.length adj in
+      let o = Cr_checker.Paths.make_oracle ~succ:adj in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if
+            Cr_checker.Paths.shortest_nonempty_memo o ~src ~dst
+            <> Cr_checker.Paths.shortest_nonempty ~succ:adj ~src ~dst
+          then ok := false
+        done
+      done;
+      !ok)
+
+let prop_par_map_eq_seq =
+  QCheck2.Test.make ~name:"Par.map_array with jobs>1 = Array.map" ~count:50
+    QCheck2.Gen.(pair (list_size (int_bound 40) (int_bound 1000)) (int_range 2 6))
+    (fun (l, jobs) ->
+      let a = Array.of_list l in
+      Cr_checker.Par.map_array ~jobs (fun x -> x * x + 1) a
+      = Array.map (fun x -> x * x + 1) a)
+
+(* The CR_JOBS fan-out must be observationally invisible: the full report
+   at N = 2..4 prints the same bytes whether computed sequentially or on
+   four domains.  Capture redirects the stdout file descriptor: once a
+   domain has been spawned, Format's std_formatter writes through a
+   domain-local buffer straight to [Stdlib.stdout], so formatter-level
+   out-function swapping would miss everything after the first spawn. *)
+let test_report_jobs_invariant () =
+  let capture () =
+    let tmp = Filename.temp_file "cr_jobs" ".out" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+    flush stdout;
+    Format.print_flush ();
+    let saved = Unix.dup Unix.stdout in
+    Unix.dup2 fd Unix.stdout;
+    Unix.close fd;
+    Fun.protect
+      ~finally:(fun () ->
+        flush stdout;
+        Format.print_flush ();
+        Unix.dup2 saved Unix.stdout;
+        Unix.close saved)
+      (fun () -> Cr_experiments.Report.all ~ns:[ 2; 3; 4 ] ());
+    let ic = open_in_bin tmp in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove tmp;
+    s
+  in
+  Unix.putenv "CR_JOBS" "1";
+  let seq = capture () in
+  Unix.putenv "CR_JOBS" "4";
+  let par = capture () in
+  Unix.putenv "CR_JOBS" "1";
+  check "report output non-trivial" true (String.length seq > 1000);
+  Alcotest.(check string) "CR_JOBS=4 output = CR_JOBS=1 output" seq par
+
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest [ prop_scc_mutual_reach; prop_bfs_path_agree ]
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_scc_mutual_reach;
+      prop_bfs_path_agree;
+      prop_oracle_eq_fresh_bfs;
+      prop_par_map_eq_seq;
+    ]
 
 let () =
   Alcotest.run "checker"
@@ -153,6 +220,11 @@ let () =
           Alcotest.test_case "shortest_nonempty" `Quick test_shortest_nonempty;
           Alcotest.test_case "shortest_path" `Quick test_shortest_path;
           Alcotest.test_case "longest_within" `Quick test_longest_within;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "CR_JOBS invariance of Report.all" `Quick
+            test_report_jobs_invariant;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -264,6 +264,59 @@ let prop_normalize_idempotent =
       let n = Computation.stutter_normalize l in
       Computation.stutter_normalize n = n)
 
+(* qcheck properties for the indexed hot path: mixed-radix rank/unrank
+   and the binary-search edge membership test. *)
+
+let gen_layout =
+  QCheck2.Gen.(
+    let* doms = list_size (int_range 1 5) (int_range 1 4) in
+    return (Cr_guarded.Layout.make (List.mapi (fun i d -> (Printf.sprintf "v%d" i, d)) doms)))
+
+let prop_rank_unrank_roundtrip =
+  QCheck2.Test.make ~name:"Layout: rank/unrank roundtrip both ways" ~count:200
+    QCheck2.Gen.(pair gen_layout (int_bound 10_000))
+    (fun (l, r) ->
+      let n = Cr_guarded.Layout.num_states l in
+      let r = r mod n in
+      let s = Cr_guarded.Layout.unrank l r in
+      Cr_guarded.Layout.valid l s
+      && Cr_guarded.Layout.rank l s = r
+      && Cr_guarded.Layout.unrank l (Cr_guarded.Layout.rank l s) = s)
+
+let prop_rank_matches_enumerate =
+  QCheck2.Test.make ~name:"Layout: rank agrees with enumerate order" ~count:50
+    gen_layout (fun l ->
+      List.for_all
+        (fun (i, s) -> Cr_guarded.Layout.rank l s = i && Cr_guarded.Layout.unrank l i = s)
+        (List.mapi (fun i s -> (i, s)) (Cr_guarded.Layout.enumerate l)))
+
+let gen_graph_sys =
+  QCheck2.Gen.(
+    let* n = int_range 1 10 in
+    let* edges =
+      list_size (int_bound 25) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+    in
+    return (n, List.filter (fun (i, j) -> i <> j) edges))
+
+let prop_has_edge_binary_eq_linear =
+  QCheck2.Test.make ~name:"Explicit.has_edge = linear successor scan" ~count:100
+    gen_graph_sys (fun (n, edges) ->
+      let sys =
+        System.make ~name:"rand"
+          ~states:(List.init n Fun.id)
+          ~step:(fun i -> List.filter_map (fun (a, b) -> if a = i then Some b else None) edges)
+          ~is_initial:(fun _ -> true) ~pp:Fmt.int ()
+      in
+      let e = Explicit.of_system sys in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let linear = Array.exists (fun k -> k = j) (Explicit.successors e i) in
+          if Explicit.has_edge e i j <> linear then ok := false
+        done
+      done;
+      !ok)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -272,6 +325,9 @@ let qcheck_cases =
       prop_conv_isom_refl;
       prop_conv_isom_interior_drop;
       prop_normalize_idempotent;
+      prop_rank_unrank_roundtrip;
+      prop_rank_matches_enumerate;
+      prop_has_edge_binary_eq_linear;
     ]
 
 let () =
