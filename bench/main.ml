@@ -144,9 +144,35 @@ let json_of_float_opt = function
   | Some v when Float.is_finite v -> Printf.sprintf "%.4f" v
   | Some _ | None -> "null"
 
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, rev when rev <> "" -> rev
+      | _ -> "unknown"
+      | exception _ -> "unknown")
+
+(* Merged telemetry counters for the JSON artifact.  When CR_STATS/CR_TRACE
+   are unset the timed runs above executed with collection disabled (so the
+   micro numbers are unperturbed); collect from a separate silent small
+   sweep instead. *)
+let counters_snapshot () =
+  if not (Cr_obs.Obs.tracking ()) then begin
+    Cr_obs.Obs.force_collect ();
+    silently (fun () -> Cr_experiments.Report.all ~ns:[ 2 ] ())
+  end;
+  Cr_obs.Obs.merged_snapshot ()
+
 let write_json path micro report_wall =
+  let counters = counters_snapshot () in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"micro\": [\n";
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"git_rev\": %S,\n  \"cr_jobs\": %d,\n" (git_rev ())
+       (Cr_checker.Par.jobs_env ()));
+  Buffer.add_string buf "  \"micro\": [\n";
   List.iteri
     (fun i (name, est, r2) ->
       Buffer.add_string buf
@@ -163,22 +189,42 @@ let write_json path micro report_wall =
         (Printf.sprintf "    {\"n\": %d, \"seconds\": %.3f}%s\n" n secs
            (if i = List.length report_wall - 1 then "" else ",")))
     report_wall;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n  \"counters\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: %d%s\n" name v
+           (if i = List.length counters - 1 then "" else ",")))
+    counters;
+  Buffer.add_string buf "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
   pf "wrote %s@." path
 
+(* Accept [--json PATH] or [--json=PATH] anywhere on the command line;
+   reject a missing path (end of argv, or a following flag) instead of
+   silently skipping the artifact. *)
+let parse_json_path argv =
+  let usage () =
+    prerr_endline "bench: --json requires a path (--json PATH or --json=PATH)";
+    exit 2
+  in
+  let is_flag a = String.length a >= 2 && String.sub a 0 2 = "--" in
+  let rec find = function
+    | [] -> None
+    | [ "--json" ] -> usage ()
+    | "--json" :: path :: _ -> if is_flag path then usage () else Some path
+    | arg :: _ when String.starts_with ~prefix:"--json=" arg ->
+        let p = String.sub arg 7 (String.length arg - 7) in
+        if p = "" then usage () else Some p
+    | _ :: rest -> find rest
+  in
+  find (List.tl (Array.to_list argv))
+
 let () =
   let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
-  let json_path =
-    let rec find = function
-      | "--json" :: path :: _ -> Some path
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find (Array.to_list Sys.argv)
-  in
+  let json_path = parse_json_path Sys.argv in
   Cr_experiments.Report.all ~ns:[ 2; 3; 4; 5 ] ~ns_direct:[ 2; 3; 4; 5; 6 ] ();
   let micro = if skip_micro then [] else run_micro () in
   if not skip_micro then print_micro micro;

@@ -1,6 +1,18 @@
 #!/bin/sh
-# Minimal CI gate: full build (including benches and examples) + test suite.
+# Minimal CI gate: full build (including benches and examples) + test suite,
+# then a telemetry smoke run: CR_STATS/CR_TRACE must produce a summary and a
+# well-formed, non-empty Chrome-trace JSON, and --stats must print verdict
+# costs.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
+
+trace=$(mktemp /tmp/cr.trace.XXXXXX)
+trap 'rm -f "$trace"' EXIT
+
+CR_STATS=1 CR_TRACE="$trace" dune exec bin/crcheck.exe -- verify dijkstra3 --stats
+test -s "$trace" || { echo "ci: CR_TRACE produced no output" >&2; exit 1; }
+dune exec bin/trace_lint.exe -- "$trace"
+
+echo "ci: OK"

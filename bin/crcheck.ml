@@ -19,6 +19,18 @@ let system_arg =
   let doc = "System name; see $(b,crcheck list)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
 
+let stats_arg =
+  let doc =
+    "Collect checker telemetry and print the verdict's counter cost \
+     (equivalent to running with CR_STATS=1)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let pp_cost what = function
+  | None -> ()
+  | Some [] -> pf "%s cost: (no counter movement)@." what
+  | Some cost -> pf "%s cost:@.%a@." what Cr_obs.Obs.pp_snapshot cost
+
 let with_entry name f =
   match Cr_experiments.Registry.find name with
   | None ->
@@ -46,7 +58,8 @@ let list_cmd =
 
 (* ---- verify ---- *)
 
-let verify name n =
+let verify name n stats =
+  if stats then Cr_obs.Obs.force_enable ();
   with_entry name (fun e ->
       let p = e.Cr_experiments.Registry.program n in
       let ep = Cr_guarded.Program.to_explicit p in
@@ -60,6 +73,7 @@ let verify name n =
       in
       let r = Cr_core.Stabilize.stabilizing_to ~alpha ~c:ep ~a:spec () in
       pf "%a@." Cr_core.Stabilize.pp_report r;
+      if stats then pp_cost "stabilize" r.Cr_core.Stabilize.cost;
       (match r.Cr_core.Stabilize.bad_cycle with
       | Some cyc ->
           pf "witness divergence:@.";
@@ -85,11 +99,12 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Model-check that SYSTEM is stabilizing to its specification")
-    Term.(const verify $ system_arg $ n_arg)
+    Term.(const verify $ system_arg $ n_arg $ stats_arg)
 
 (* ---- refine ---- *)
 
-let refine name n =
+let refine name n stats =
+  if stats then Cr_obs.Obs.force_enable ();
   with_entry name (fun e ->
       let ep = Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.program n) in
       let spec =
@@ -102,7 +117,8 @@ let refine name n =
       in
       List.iter
         (fun (label, report) ->
-          pf "%-14s %a@." label Cr_core.Refine.pp_report report)
+          pf "%-14s %a@." label Cr_core.Refine.pp_report report;
+          if stats then pp_cost label report.Cr_core.Refine.cost)
         [
           ("init", Cr_core.Refine.init_refinement ~alpha ~c:ep ~a:spec ());
           ("everywhere", Cr_core.Refine.everywhere_refinement ~alpha ~c:ep ~a:spec ());
@@ -128,7 +144,7 @@ let refine_cmd =
          "Check the refinement relations between SYSTEM and its \
           specification (init / everywhere / convergence / \
           everywhere-eventually)")
-    Term.(const refine $ system_arg $ n_arg)
+    Term.(const refine $ system_arg $ n_arg $ stats_arg)
 
 (* ---- trace ---- *)
 
@@ -292,14 +308,15 @@ let experiments_cmd =
       value & opt int 3
       & info [ "max-n" ] ~docv:"N" ~doc:"Largest ring size in the sweeps.")
   in
-  let run max_n =
+  let run max_n stats =
+    if stats then Cr_obs.Obs.force_enable ();
     Cr_experiments.Report.all ~ns:(List.init (max_n - 1) (fun i -> i + 2)) ();
     0
   in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate every experiment table (same output as bench/main.exe)")
-    Term.(const run $ max_n)
+    Term.(const run $ max_n $ stats_arg)
 
 let main =
   let doc = "model checking and refinement checking for Convergence Refinement" in

@@ -1,0 +1,39 @@
+(* trace_lint — validate a CR_TRACE Chrome-trace export.
+
+     trace_lint FILE
+
+   Exits 0 when FILE is well-formed JSON containing at least one trace
+   event, non-zero otherwise.  Used by bin/ci.sh to smoke-test the
+   CR_TRACE pipeline without a JSON library dependency. *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: trace_lint FILE"
+  in
+  if not (Sys.file_exists path) then fail "trace_lint: no such file: %s" path;
+  (match Cr_obs.Json_check.validate_file path with
+  | Ok () -> ()
+  | Error msg -> fail "trace_lint: %s: invalid JSON: %s" path msg);
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let count_occurrences needle =
+    let nl = String.length needle in
+    let rec go from acc =
+      match String.index_from_opt body from needle.[0] with
+      | Some i when i + nl <= String.length body ->
+          if String.sub body i nl = needle then go (i + nl) (acc + 1)
+          else go (i + 1) acc
+      | _ -> acc
+    in
+    go 0 0
+  in
+  let spans = count_occurrences "\"ph\":\"X\"" in
+  if spans = 0 then fail "trace_lint: %s: no span events" path;
+  Printf.printf "trace_lint: %s OK (%d span event(s), %d byte(s))\n" path spans
+    len

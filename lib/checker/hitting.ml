@@ -11,8 +11,12 @@
    counterpart of the Monte-Carlo mean (they are cross-checked in the
    test suite). *)
 
+let c_runs = Cr_obs.Obs.counter "hitting.runs"
+let c_iterations = Cr_obs.Obs.counter "hitting.iterations"
+
 let expected ?(epsilon = 1e-9) ?(max_iter = 1_000_000) ?pred
     ~(succ : int array array) ~(target : bool array) () : float array =
+  Cr_obs.Obs.span "hitting.expected" @@ fun () ->
   let n = Array.length succ in
   (* states that cannot reach the target at all diverge; callers that hold
      an explicit system pass its stored predecessor arrays to skip the
@@ -58,6 +62,8 @@ let expected ?(epsilon = 1e-9) ?(max_iter = 1_000_000) ?pred
     Array.blit next 0 e 0 n;
     incr iter
   done;
+  Cr_obs.Obs.incr c_runs;
+  Cr_obs.Obs.add c_iterations !iter;
   e
 
 let max_finite (e : float array) =

@@ -1,5 +1,14 @@
 (* Shortest-path queries (BFS) over adjacency arrays. *)
 
+(* Telemetry (all no-ops unless CR_STATS/CR_TRACE is on).  BFS expansion
+   counts are published once per BFS from the final queue tail — every
+   expanded node was enqueued exactly once — so the hot loop itself
+   carries no instrumentation. *)
+let c_bfs_runs = Cr_obs.Obs.counter "paths.bfs.runs"
+let c_bfs_expansions = Cr_obs.Obs.counter "paths.bfs.expansions"
+let c_oracle_hits = Cr_obs.Obs.counter "paths.oracle.hits"
+let c_oracle_misses = Cr_obs.Obs.counter "paths.oracle.misses"
+
 (* Flat-array FIFO: every node is enqueued at most once, so capacity n
    suffices and the BFS allocates nothing but the two arrays. *)
 let bfs_distances ~succ ~src =
@@ -23,6 +32,8 @@ let bfs_distances ~succ ~src =
         end)
       succ.(i)
   done;
+  Cr_obs.Obs.incr c_bfs_runs;
+  Cr_obs.Obs.add c_bfs_expansions !tail;
   dist
 
 (* A shortest-path oracle over a fixed graph: per-source BFS distance rows
@@ -43,8 +54,11 @@ let make_oracle ~succ =
 
 let oracle_dist o ~src =
   match o.rows.(src) with
-  | Some d -> d
+  | Some d ->
+      Cr_obs.Obs.incr c_oracle_hits;
+      d
   | None ->
+      Cr_obs.Obs.incr c_oracle_misses;
       let succ = o.osucc and q = o.q in
       let dist = Array.make (Array.length succ) (-1) in
       let head = ref 0 and tail = ref 0 in
@@ -64,6 +78,8 @@ let oracle_dist o ~src =
             end)
           succ.(i)
       done;
+      Cr_obs.Obs.incr c_bfs_runs;
+      Cr_obs.Obs.add c_bfs_expansions !tail;
       o.rows.(src) <- Some dist;
       dist
 
@@ -146,6 +162,7 @@ exception Cyclic
    arrays, safe for masked regions whose longest path exceeds the OCaml
    call stack and allocation-free per visit. *)
 let longest_within ~succ ~mask =
+  Cr_obs.Obs.span "paths.longest_within" @@ fun () ->
   let n = Array.length succ in
   let memo = Array.make n (-1) in
   let visiting = Array.make n false in

@@ -6,7 +6,12 @@ type t = {
   sizes : int array;  (* component id -> number of states *)
 }
 
+let c_runs = Cr_obs.Obs.counter "scc.runs"
+let c_components = Cr_obs.Obs.counter "scc.components"
+let c_largest = Cr_obs.Obs.counter ~kind:Cr_obs.Obs.Max "scc.largest"
+
 let compute (succ : int array array) : t =
+  Cr_obs.Obs.span "scc.compute" @@ fun () ->
   let n = Array.length succ in
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
@@ -70,6 +75,11 @@ let compute (succ : int array array) : t =
   done;
   let sizes = Array.make !next_comp 0 in
   Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) component;
+  if Cr_obs.Obs.tracking () then begin
+    Cr_obs.Obs.incr c_runs;
+    Cr_obs.Obs.add c_components !next_comp;
+    Cr_obs.Obs.record_max c_largest (Array.fold_left max 0 sizes)
+  end;
   { component; count = !next_comp; sizes }
 
 (* Is state [i] on some cycle?  True iff its component has >= 2 states

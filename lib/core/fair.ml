@@ -61,10 +61,14 @@ let admissible (next : tables) ~(graph : int array array)
       done;
       !ok
 
+let c_runs = Cr_obs.Obs.counter "fair.analyze.runs"
+let c_admissible = Cr_obs.Obs.counter "fair.admissible_sccs"
+
 (* Analyze the subgraph induced by [mask]: compute its SCCs and which of
    them carry a weakly-fair infinite run. *)
 let analyze (next : tables) ~(succ : int array array) ~(mask : bool array) :
     analysis =
+  Cr_obs.Obs.span "fair.analyze" @@ fun () ->
   let n = Array.length succ in
   let restricted = Cr_checker.Scc.restrict succ mask in
   let scc = Cr_checker.Scc.compute restricted in
@@ -91,6 +95,8 @@ let analyze (next : tables) ~(succ : int array array) ~(mask : bool array) :
         end
       end)
     members;
+  Cr_obs.Obs.incr c_runs;
+  Cr_obs.Obs.add c_admissible (List.length !sccs);
   { component; fair; sccs = List.rev !sccs }
 
 let has_fair_divergence next ~succ ~mask =

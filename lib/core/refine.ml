@@ -93,6 +93,9 @@ type report = {
   concrete : string;
   abstract : string;
   relation : string;
+  cost : Cr_obs.Obs.snapshot option;
+      (* counter movement of this check on the calling domain; [None]
+         unless telemetry collection is on *)
 }
 
 let pp_report fmt r =
@@ -133,11 +136,21 @@ let iter_classified t f =
     f t.srcs.(k) t.dsts.(k) t.cls.(k)
   done
 
+(* Edge-class telemetry, published once per classify (the sweep itself
+   carries no instrumentation beyond the oracle's own counters). *)
+let c_classify_runs = Cr_obs.Obs.counter "refine.classify.runs"
+let c_edges_exact = Cr_obs.Obs.counter "refine.edges.exact"
+let c_edges_stutter = Cr_obs.Obs.counter "refine.edges.stutter"
+let c_edges_compression = Cr_obs.Obs.counter "refine.edges.compression"
+let c_edges_unmatched = Cr_obs.Obs.counter "refine.edges.unmatched"
+let c_max_dropped = Cr_obs.Obs.counter ~kind:Cr_obs.Obs.Max "refine.max_dropped"
+
 (* Classify each edge of [c] against [a] through [alpha].  Shortest
    abstract paths are answered by a per-source memoized BFS oracle, so
    repeated compression queries from the same image cost one BFS total. *)
 let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
     classified * stats =
+  Cr_obs.Obs.span "refine.classify" @@ fun () ->
   let succ_a = Cr_checker.Reach.of_explicit a in
   let oracle = Cr_checker.Paths.make_oracle ~succ:succ_a in
   let m = Explicit.num_transitions c in
@@ -191,6 +204,15 @@ let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
         row
     end
   done;
+  if Cr_obs.Obs.tracking () then begin
+    Cr_obs.Obs.incr c_classify_runs;
+    Cr_obs.Obs.add c_edges_exact !exact;
+    Cr_obs.Obs.add c_edges_stutter !stutter;
+    Cr_obs.Obs.add c_edges_compression !compressions;
+    Cr_obs.Obs.add c_edges_unmatched
+      (m - !exact - !stutter - !compressions);
+    Cr_obs.Obs.record_max c_max_dropped !max_dropped
+  end;
   ( { srcs; dsts; cls },
     {
       edges = m;
@@ -250,10 +272,25 @@ let make_report ~relation ~c ~a ~stats failures =
     concrete = Explicit.name c;
     abstract = Explicit.name a;
     relation;
+    cost = None;
   }
+
+(* Run one checker under a named span and attach the movement of this
+   domain's counters to the verdict.  The delta is domain-local, so it is
+   deterministic even when sibling checks run on other domains. *)
+let with_cost span_name f =
+  Cr_obs.Obs.span span_name @@ fun () ->
+  if not (Cr_obs.Obs.tracking ()) then f ()
+  else begin
+    let before = Cr_obs.Obs.domain_snapshot () in
+    let report = f () in
+    let after = Cr_obs.Obs.domain_snapshot () in
+    { report with cost = Some (Cr_obs.Obs.diff ~before ~after) }
+  end
 
 (* [C ⊑ A]_init *)
 let init_refinement ?alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) () =
+  with_cost "refine.init" @@ fun () ->
   let alpha =
     match alpha with
     | Some t -> t
@@ -276,6 +313,7 @@ let init_refinement ?alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) () =
 
 (* [C ⊑ A] — everywhere refinement *)
 let everywhere_refinement ?alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) () =
+  with_cost "refine.everywhere" @@ fun () ->
   let alpha =
     match alpha with
     | Some t -> t
@@ -296,6 +334,7 @@ let everywhere_refinement ?alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) () =
    ones; see {!Fair}). *)
 let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
     ~(a : _ Explicit.t) () =
+  with_cost "refine.convergence" @@ fun () ->
   let alpha =
     match alpha with
     | Some t -> t
@@ -317,24 +356,28 @@ let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
   in
   let failures = ref (initial_failures ~alpha ~c ~a) in
   (* 1. Init refinement: reachable edges must be Exact. *)
-  let reach = Cr_checker.Reach.reachable_from_initial c in
-  iter_classified classified (fun i j cls ->
-      match cls with
-      | Some Exact -> ()
-      | _ ->
-          if reach.(i) then failures := Init_edge_not_exact (i, j) :: !failures);
+  Cr_obs.Obs.span "refine.init_check" (fun () ->
+      let reach = Cr_checker.Reach.reachable_from_initial c in
+      iter_classified classified (fun i j cls ->
+          match cls with
+          | Some Exact -> ()
+          | _ ->
+              if reach.(i) then
+                failures := Init_edge_not_exact (i, j) :: !failures));
   (* 2. Global matching + finiteness of omissions. *)
-  iter_classified classified (fun i j cls ->
-      match cls with
-      | None -> failures := Edge_unmatched (i, j) :: !failures
-      | Some (Compression _) when edge_on_cycle i j ->
-          failures := Compression_on_cycle (i, j) :: !failures
-      | Some _ -> ());
+  Cr_obs.Obs.span "refine.cycle_check" (fun () ->
+      iter_classified classified (fun i j cls ->
+          match cls with
+          | None -> failures := Edge_unmatched (i, j) :: !failures
+          | Some (Compression _) when edge_on_cycle i j ->
+              failures := Compression_on_cycle (i, j) :: !failures
+          | Some _ -> ()));
   (* 3. Stutter-only cycles: an infinite computation of C whose image is
      eventually constant normalizes to a finite sequence, so its (constant)
      image must be able to end a computation of A, i.e. be A-terminal.
      A system with no stutter edge has no such cycle — skip the pass. *)
-  (if stats.stutter > 0 then begin
+  (if stats.stutter > 0 then
+     Cr_obs.Obs.span "refine.stutter_check" @@ fun () ->
      let stutter_adj = stutter_adjacency n classified in
      let on_stutter_cycle =
        match fair with
@@ -348,8 +391,7 @@ let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
      for i = 0 to n - 1 do
        if on_stutter_cycle i && not (Explicit.is_terminal a alpha.(i)) then
          failures := Stutter_cycle i :: !failures
-     done
-   end);
+     done);
   (* 4. Terminal matching (everywhere). *)
   let failures = !failures @ terminal_failures ~alpha ~c ~a ~restrict:None in
   make_report ~relation:"⪯" ~c ~a ~stats failures
@@ -362,6 +404,7 @@ let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
    a non-terminal image.  Init refinement is still required. *)
 let everywhere_eventually_refinement ?alpha ?fair ~(c : _ Explicit.t)
     ~(a : _ Explicit.t) () =
+  with_cost "refine.everywhere_eventually" @@ fun () ->
   let alpha =
     match alpha with
     | Some t -> t
@@ -382,18 +425,20 @@ let everywhere_eventually_refinement ?alpha ?fair ~(c : _ Explicit.t)
         fun i j -> Fair.edge_on_fair_cycle analysis i j
   in
   let failures = ref (initial_failures ~alpha ~c ~a) in
-  let reach = Cr_checker.Reach.reachable_from_initial c in
-  iter_classified classified (fun i j cls ->
-      let is_exact = match cls with Some Exact -> true | _ -> false in
-      if reach.(i) && not is_exact then
-        failures := Init_edge_not_exact (i, j) :: !failures
-      else
-        match cls with
-        | Some Exact | Some Stutter -> ()
-        | Some (Compression _) | None ->
-            if edge_on_cycle i j then
-              failures := Non_exact_on_cycle (i, j) :: !failures);
-  (if stats.stutter > 0 then begin
+  Cr_obs.Obs.span "refine.cycle_check" (fun () ->
+      let reach = Cr_checker.Reach.reachable_from_initial c in
+      iter_classified classified (fun i j cls ->
+          let is_exact = match cls with Some Exact -> true | _ -> false in
+          if reach.(i) && not is_exact then
+            failures := Init_edge_not_exact (i, j) :: !failures
+          else
+            match cls with
+            | Some Exact | Some Stutter -> ()
+            | Some (Compression _) | None ->
+                if edge_on_cycle i j then
+                  failures := Non_exact_on_cycle (i, j) :: !failures));
+  (if stats.stutter > 0 then
+     Cr_obs.Obs.span "refine.stutter_check" @@ fun () ->
      let stutter_adj = stutter_adjacency n classified in
      let on_stutter_cycle =
        match fair with
@@ -407,7 +452,6 @@ let everywhere_eventually_refinement ?alpha ?fair ~(c : _ Explicit.t)
      for i = 0 to n - 1 do
        if on_stutter_cycle i && not (Explicit.is_terminal a alpha.(i)) then
          failures := Stutter_cycle i :: !failures
-     done
-   end);
+     done);
   let failures = !failures @ terminal_failures ~alpha ~c ~a ~restrict:None in
   make_report ~relation:"⊑_ee" ~c ~a ~stats failures

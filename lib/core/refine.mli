@@ -53,6 +53,10 @@ type report = {
   concrete : string;
   abstract : string;
   relation : string;
+  cost : Cr_obs.Obs.snapshot option;
+      (** telemetry counters moved by this check on the calling domain
+          ([Some] only while {!Cr_obs.Obs.tracking} — e.g. under
+          [CR_STATS], [CR_TRACE], or the CLI's [--stats]) *)
 }
 
 val pp_report : Format.formatter -> report -> unit

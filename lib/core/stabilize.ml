@@ -32,6 +32,9 @@ type report = {
   bad_cycle : int list option;  (* a witness cycle outside Good *)
   bad_terminal : int option;  (* a witness terminal outside Good *)
   good_mask : bool array;  (* per-state membership in the converged region *)
+  cost : Cr_obs.Obs.snapshot option;
+      (* counter movement of this check on the calling domain; [None]
+         unless telemetry collection is on *)
 }
 
 let pp_report fmt r =
@@ -87,8 +90,16 @@ let find_cycle_within succ mask =
    normalizes to a finite suffix, which must be able to end a computation
    of [a].  Needed when a concrete system takes several micro-steps per
    abstract step (e.g. the bytecode machine of the intro example). *)
+let c_runs = Cr_obs.Obs.counter "stabilize.runs"
+let c_bad_seeds = Cr_obs.Obs.counter "stabilize.bad_seeds"
+
 let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
     ~(a : _ Explicit.t) () =
+  Cr_obs.Obs.span "stabilize.check" @@ fun () ->
+  let cost_before =
+    if Cr_obs.Obs.tracking () then Some (Cr_obs.Obs.domain_snapshot ())
+    else None
+  in
   let alpha =
     match alpha with
     | Some t -> t
@@ -100,13 +111,14 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
   let stutter_ok =
     match stutter with `Allow -> true | `Forbid -> false
   in
-  Explicit.iter_edges c (fun i j ->
-      let ai = alpha.(i) and aj = alpha.(j) in
-      let fine =
-        legit.(ai) && legit.(aj)
-        && (Explicit.has_edge a ai aj || (stutter_ok && ai = aj))
-      in
-      if not fine then bad_seed.(i) <- true);
+  Cr_obs.Obs.span "stabilize.bad_seeds" (fun () ->
+      Explicit.iter_edges c (fun i j ->
+          let ai = alpha.(i) and aj = alpha.(j) in
+          let fine =
+            legit.(ai) && legit.(aj)
+            && (Explicit.has_edge a ai aj || (stutter_ok && ai = aj))
+          in
+          if not fine then bad_seed.(i) <- true));
   (if stutter_ok then begin
      (* pure-stutter cycles must sit at an [a]-terminal image *)
      let stutter_succ = Array.make n [] in
@@ -130,7 +142,14 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
   done;
   let succ_c = Cr_checker.Reach.of_explicit c in
   let seeds = Cr_checker.Reach.members bad_seed in
-  let reaches_bad = Cr_checker.Reach.backward_of_explicit c ~seeds in
+  if Cr_obs.Obs.tracking () then begin
+    Cr_obs.Obs.incr c_runs;
+    Cr_obs.Obs.add c_bad_seeds (List.length seeds)
+  end;
+  let reaches_bad =
+    Cr_obs.Obs.span "stabilize.reach_bad" (fun () ->
+        Cr_checker.Reach.backward_of_explicit c ~seeds)
+  in
   let good = Array.map not reaches_bad in
   (* A C-terminal outside Good is itself a bad seed; find one if any. *)
   let terminal_outside =
@@ -144,6 +163,7 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
         !w
   in
   let cycle, depths =
+    Cr_obs.Obs.span "stabilize.divergence_check" @@ fun () ->
     match fair with
     | None -> (
         (* The recovery-depth DFS doubles as the cycle test: it raises
@@ -186,6 +206,11 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
     bad_cycle = cycle;
     bad_terminal = terminal_outside;
     good_mask = good;
+    cost =
+      Option.map
+        (fun before ->
+          Cr_obs.Obs.diff ~before ~after:(Cr_obs.Obs.domain_snapshot ()))
+        cost_before;
   }
 
 (* Self-stabilization: A is stabilizing to A. *)

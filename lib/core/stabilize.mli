@@ -17,6 +17,10 @@ type report = {
   bad_cycle : int list option;  (** witness cycle that never converges *)
   bad_terminal : int option;  (** witness deadlock outside the converged region *)
   good_mask : bool array;  (** per-state membership in the converged region *)
+  cost : Cr_obs.Obs.snapshot option;
+      (** telemetry counters moved by this check on the calling domain
+          ([Some] only while {!Cr_obs.Obs.tracking} — e.g. under
+          [CR_STATS], [CR_TRACE], or the CLI's [--stats]) *)
 }
 
 val pp_report : Format.formatter -> report -> unit

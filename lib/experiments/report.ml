@@ -334,47 +334,99 @@ let table_mutex ns =
             (yn i4)))
     ns rows
 
+(* ---------- cost appendix (CR_STATS) ---------- *)
+
+(* Wrap one table in a [report.<id>] span and record its wall time plus
+   the movement of the merged telemetry counters.  Each table joins its
+   [Par] workers before returning, so the merged before/after snapshots
+   are race-free and their delta is the table's own cost. *)
+let run_table appendix id f =
+  if not (Cr_obs.Obs.tracking ()) then f ()
+  else begin
+    let before = Cr_obs.Obs.merged_snapshot () in
+    let t0 = Unix.gettimeofday () in
+    Cr_obs.Obs.span ("report." ^ id) f;
+    let wall_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+    let delta = Cr_obs.Obs.diff ~before ~after:(Cr_obs.Obs.merged_snapshot ()) in
+    appendix := (id, wall_ms, delta) :: !appendix
+  end
+
+let top_counters ?(limit = 4) (delta : Cr_obs.Obs.snapshot) =
+  List.stable_sort (fun (_, a) (_, b) -> compare b a) delta
+  |> List.filteri (fun i _ -> i < limit)
+
+let print_appendix appendix =
+  hr "Cost appendix (CR_STATS)";
+  pf "%-6s %10s  %s@." "table" "wall-ms" "largest counter movements";
+  List.iter
+    (fun (id, wall_ms, delta) ->
+      pf "%-6s %10.1f  %s@." id wall_ms
+        (String.concat " "
+           (List.map
+              (fun (name, v) -> Printf.sprintf "%s=%d" name v)
+              (top_counters delta))))
+    (List.rev appendix)
+
 (* Run every table in order.  [ns_direct] (default [ns]) applies to the
    cheap direct stabilization sweeps (E4, E6, E8/Theorem 11) that scale to
    larger rings than the refinement tables; the bench harness passes a
-   longer list there. *)
+   longer list there.  Under CR_STATS (or a forced [Cr_obs.Obs] enable)
+   each table also reports its wall time and counter movement in a cost
+   appendix; with CR_TRACE set, each table is one [report.*] span in the
+   exported trace. *)
 let all ?(ns = [ 2; 3; 4 ]) ?ns_direct () =
   let ns_direct = Option.value ~default:ns ns_direct in
   pf "Convergence Refinement — experiment tables (paper: Demirbas & Arora, \
       ICDCS 2002)@.";
-  table_fig1 ();
-  table_vm ();
-  table_bidding ();
-  wrapped_table "E4  Theorem 6: (BTR [] W1 [] W2) stabilizing to BTR"
-    Ring_exps.theorem6 ns_direct;
-  refinement_table "E5  Lemma 7: [C1 ⪯ BTR] via alpha4" Ring_exps.lemma7 ns;
-  direct_table "E6  Theorem 8: C1 stabilizing to BTR" Ring_exps.theorem8_c1
-    ns_direct;
-  direct_table "E6  Theorem 8 (optimized): Dijkstra's 4-state stabilizing to BTR"
-    Ring_exps.theorem8_dijkstra4 ns_direct;
-  wrapped_table "E7  Lemma 9: (BTR3 [] W1'' [] W2') stabilizing to BTR"
-    Ring_exps.lemma9 ns;
-  table_wrapper_refinement ns;
-  refinement_table
-    "E8  Lemma 10 (strict, same state space): [C2[]W1''[]W2' ⪯ BTR3[]W1''[]W2']"
-    Ring_exps.lemma10 [ 2; 3 ];
-  direct_table "E8  Theorem 11: Dijkstra's 3-state stabilizing to BTR"
-    Ring_exps.theorem11_dijkstra3 ns_direct;
-  wrapped_table
-    "E8  Theorem 11 (composition): (C2 [] W1'' [] W2') stabilizing to BTR"
-    Ring_exps.theorem11_c2w ns;
-  refinement_table "E9  Lemma 12 (strict): [C3 ⪯ BTR] via alpha3"
-    (fun n -> Ring_exps.lemma12 n)
-    [ 2; 3 ];
-  wrapped_table "E9  Theorem 13: (C3 [] W1'' [] W2') stabilizing to BTR"
-    Ring_exps.theorem13 ns;
-  table_rewriting ns;
-  table_kstate ns;
-  table_compression ();
-  table_stutter ();
-  table_cost ns;
-  table_synchronous ns;
-  table_rw ();
-  table_hitting ns;
-  table_spans ();
-  table_mutex ns
+  let appendix = ref [] in
+  let t = run_table appendix in
+  t "E1" table_fig1;
+  t "E2" table_vm;
+  t "E3" table_bidding;
+  t "E4" (fun () ->
+      wrapped_table "E4  Theorem 6: (BTR [] W1 [] W2) stabilizing to BTR"
+        Ring_exps.theorem6 ns_direct);
+  t "E5" (fun () ->
+      refinement_table "E5  Lemma 7: [C1 ⪯ BTR] via alpha4" Ring_exps.lemma7 ns);
+  t "E6a" (fun () ->
+      direct_table "E6  Theorem 8: C1 stabilizing to BTR" Ring_exps.theorem8_c1
+        ns_direct);
+  t "E6b" (fun () ->
+      direct_table
+        "E6  Theorem 8 (optimized): Dijkstra's 4-state stabilizing to BTR"
+        Ring_exps.theorem8_dijkstra4 ns_direct);
+  t "E7" (fun () ->
+      wrapped_table "E7  Lemma 9: (BTR3 [] W1'' [] W2') stabilizing to BTR"
+        Ring_exps.lemma9 ns);
+  t "E7b" (fun () -> table_wrapper_refinement ns);
+  t "E8a" (fun () ->
+      refinement_table
+        "E8  Lemma 10 (strict, same state space): [C2[]W1''[]W2' ⪯ \
+         BTR3[]W1''[]W2']"
+        Ring_exps.lemma10 [ 2; 3 ]);
+  t "E8b" (fun () ->
+      direct_table "E8  Theorem 11: Dijkstra's 3-state stabilizing to BTR"
+        Ring_exps.theorem11_dijkstra3 ns_direct);
+  t "E8c" (fun () ->
+      wrapped_table
+        "E8  Theorem 11 (composition): (C2 [] W1'' [] W2') stabilizing to BTR"
+        Ring_exps.theorem11_c2w ns);
+  t "E9a" (fun () ->
+      refinement_table "E9  Lemma 12 (strict): [C3 ⪯ BTR] via alpha3"
+        (fun n -> Ring_exps.lemma12 n)
+        [ 2; 3 ]);
+  t "E9b" (fun () ->
+      wrapped_table "E9  Theorem 13: (C3 [] W1'' [] W2') stabilizing to BTR"
+        Ring_exps.theorem13 ns);
+  t "E10" (fun () -> table_rewriting ns);
+  t "E11" (fun () -> table_kstate ns);
+  t "E12" table_compression;
+  t "E13" table_stutter;
+  t "E14" (fun () -> table_cost ns);
+  t "E16" (fun () -> table_synchronous ns);
+  t "E17" table_rw;
+  t "E18" (fun () -> table_hitting ns);
+  t "E19" table_spans;
+  t "E20" (fun () -> table_mutex ns);
+  if Cr_obs.Obs.stats_enabled () && !appendix <> [] then
+    print_appendix !appendix

@@ -1,0 +1,162 @@
+(* Minimal JSON well-formedness checker (RFC 8259 syntax, no AST).
+
+   The repo is kept dependency-free, so the trace artifacts written by
+   {!Obs.write_trace} and the bench [--json] output are validated by this
+   recursive-descent recognizer instead of a full JSON library.  It
+   accepts exactly one JSON value plus surrounding whitespace. *)
+
+type pos = { mutable i : int }
+
+exception Bad of int * string
+
+let error p msg = raise (Bad (p.i, msg))
+
+let peek s p = if p.i < String.length s then Some s.[p.i] else None
+
+let advance p = p.i <- p.i + 1
+
+let skip_ws s p =
+  let continue = ref true in
+  while !continue do
+    match peek s p with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance p
+    | _ -> continue := false
+  done
+
+let expect s p c =
+  match peek s p with
+  | Some c' when c' = c -> advance p
+  | Some c' -> error p (Printf.sprintf "expected %c, got %c" c c')
+  | None -> error p (Printf.sprintf "expected %c, got end of input" c)
+
+let lit s p word =
+  String.iter (fun c -> expect s p c) word
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let is_hex = function
+  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+  | _ -> false
+
+let string_body s p =
+  expect s p '"';
+  let continue = ref true in
+  while !continue do
+    match peek s p with
+    | None -> error p "unterminated string"
+    | Some '"' ->
+        advance p;
+        continue := false
+    | Some '\\' -> (
+        advance p;
+        match peek s p with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance p
+        | Some 'u' ->
+            advance p;
+            for _ = 1 to 4 do
+              match peek s p with
+              | Some c when is_hex c -> advance p
+              | _ -> error p "bad \\u escape"
+            done
+        | _ -> error p "bad escape")
+    | Some c when Char.code c < 0x20 -> error p "control char in string"
+    | Some _ -> advance p
+  done
+
+let number s p =
+  (match peek s p with Some '-' -> advance p | _ -> ());
+  (match peek s p with
+  | Some '0' -> advance p
+  | Some c when is_digit c ->
+      while (match peek s p with Some c -> is_digit c | None -> false) do
+        advance p
+      done
+  | _ -> error p "bad number");
+  (match peek s p with
+  | Some '.' ->
+      advance p;
+      (match peek s p with
+      | Some c when is_digit c -> ()
+      | _ -> error p "bad fraction");
+      while (match peek s p with Some c -> is_digit c | None -> false) do
+        advance p
+      done
+  | _ -> ());
+  match peek s p with
+  | Some ('e' | 'E') ->
+      advance p;
+      (match peek s p with Some ('+' | '-') -> advance p | _ -> ());
+      (match peek s p with
+      | Some c when is_digit c -> ()
+      | _ -> error p "bad exponent");
+      while (match peek s p with Some c -> is_digit c | None -> false) do
+        advance p
+      done
+  | _ -> ()
+
+let rec value s p =
+  skip_ws s p;
+  match peek s p with
+  | Some '{' ->
+      advance p;
+      skip_ws s p;
+      (match peek s p with
+      | Some '}' -> advance p
+      | _ ->
+          let continue = ref true in
+          while !continue do
+            skip_ws s p;
+            string_body s p;
+            skip_ws s p;
+            expect s p ':';
+            value s p;
+            skip_ws s p;
+            match peek s p with
+            | Some ',' -> advance p
+            | Some '}' ->
+                advance p;
+                continue := false
+            | _ -> error p "expected , or } in object"
+          done)
+  | Some '[' ->
+      advance p;
+      skip_ws s p;
+      (match peek s p with
+      | Some ']' -> advance p
+      | _ ->
+          let continue = ref true in
+          while !continue do
+            value s p;
+            skip_ws s p;
+            match peek s p with
+            | Some ',' -> advance p
+            | Some ']' ->
+                advance p;
+                continue := false
+            | _ -> error p "expected , or ] in array"
+          done)
+  | Some '"' -> string_body s p
+  | Some 't' -> lit s p "true"
+  | Some 'f' -> lit s p "false"
+  | Some 'n' -> lit s p "null"
+  | Some ('-' | '0' .. '9') -> number s p
+  | Some c -> error p (Printf.sprintf "unexpected %c" c)
+  | None -> error p "unexpected end of input"
+
+let validate_string s =
+  let p = { i = 0 } in
+  match
+    value s p;
+    skip_ws s p;
+    if p.i <> String.length s then error p "trailing garbage"
+  with
+  | () -> Ok ()
+  | exception Bad (i, msg) -> Error (Printf.sprintf "offset %d: %s" i msg)
+
+let validate_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      validate_string s

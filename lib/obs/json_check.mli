@@ -1,0 +1,10 @@
+(** Minimal JSON well-formedness checker (syntax only, no AST), used to
+    validate the [CR_TRACE] and bench [--json] artifacts without adding a
+    JSON dependency. *)
+
+val validate_string : string -> (unit, string) result
+(** [Ok ()] iff the whole string is exactly one valid JSON value plus
+    optional surrounding whitespace; [Error msg] locates the first
+    syntax error. *)
+
+val validate_file : string -> (unit, string) result

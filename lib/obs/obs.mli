@@ -1,0 +1,91 @@
+(** Checker telemetry: domain-safe named counters and timed spans, with a
+    [CR_STATS] human summary and [CR_TRACE] Chrome-trace export.
+
+    Collection is disabled unless the [CR_STATS] or [CR_TRACE] environment
+    variable is set (or {!force_enable}/{!force_collect} is called); when
+    disabled every operation short-circuits on one branch, so instrumented
+    hot paths stay within noise of the uninstrumented checker.
+
+    Each OCaml domain accumulates into private storage; {!merged_snapshot}
+    combines domains deterministically ([Sum] counters add, [Max] counters
+    take the maximum), so merged totals are invariant under the [CR_JOBS]
+    fan-out. *)
+
+type kind =
+  | Sum  (** additive; merged across domains by summation *)
+  | Max  (** high-water mark; merged across domains by maximum *)
+
+type counter
+
+val counter : ?kind:kind -> string -> counter
+(** Register a named counter (call once, at module initialization).
+    Names should be globally unique, [module.metric]-style. *)
+
+val tracking : unit -> bool
+(** Is collection currently enabled? *)
+
+val stats_enabled : unit -> bool
+(** Should human-readable cost summaries be printed ([CR_STATS] set, or
+    {!force_enable} called)? *)
+
+val force_enable : unit -> unit
+(** Turn on collection and summaries regardless of the environment
+    (used by the [--stats] CLI flag). *)
+
+val force_collect : unit -> unit
+(** Turn on collection only (counters and spans accumulate, but nothing
+    is printed unless the caller asks). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val record_max : counter -> int -> unit
+(** Raise a [Max] counter to [v] if [v] is larger. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and, when tracking, records a timed span.
+    Spans nest; re-raises any exception of [f] after closing the span. *)
+
+type span_event = {
+  sname : string;
+  ts_us : float;  (** microseconds since process start *)
+  dur_us : float;
+  depth : int;  (** span-nesting depth at entry *)
+  tid : int;  (** OCaml domain id *)
+}
+
+val events : unit -> span_event list
+(** All recorded spans, sorted by (domain, start time).  Call only when
+    no worker domain is running. *)
+
+type snapshot = (string * int) list
+(** Counter values, sorted by name; zero entries omitted. *)
+
+val domain_snapshot : unit -> snapshot
+(** Counters of the calling domain only.  Deltas of this around a
+    single-domain computation are deterministic even when other domains
+    are active. *)
+
+val merged_snapshot : unit -> snapshot
+(** Counters merged across every domain seen so far.  Call only when no
+    worker domain is running (e.g. between checker calls). *)
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Counter movement between two snapshots of the same scope: [Sum]
+    counters subtract, [Max] counters report the new high-water mark. *)
+
+val reset : unit -> unit
+(** Zero all counters and drop all spans (test support). *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val span_aggregates : unit -> (string * (int * float * float)) list
+(** Per span name: (count, total microseconds, max microseconds),
+    sorted by name. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** The [CR_STATS] summary: merged counters plus span aggregates. *)
+
+val write_trace : string -> unit
+(** Write every recorded span as a Chrome [chrome://tracing] / Perfetto
+    trace-event JSON array, one track per OCaml domain. *)

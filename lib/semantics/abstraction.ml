@@ -22,6 +22,7 @@ let compose ?name outer inner =
 exception Not_total of string
 
 let tabulate t (c : 'c Explicit.t) (a : 'a Explicit.t) : int array =
+  Cr_obs.Obs.span "abstraction.tabulate" @@ fun () ->
   Array.init (Explicit.num_states c) (fun i ->
       let img = t.apply (Explicit.state c i) in
       match Explicit.find_opt a img with

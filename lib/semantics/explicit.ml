@@ -10,6 +10,14 @@
 
 exception Unknown_state of string
 
+(* Construction telemetry: how many explicit systems were compiled and
+   how big they were.  Counted once per construction, so the per-state
+   work stays uninstrumented. *)
+let c_systems = Cr_obs.Obs.counter "explicit.systems"
+let c_states = Cr_obs.Obs.counter "explicit.states"
+let c_transitions = Cr_obs.Obs.counter "explicit.transitions"
+let c_largest = Cr_obs.Obs.counter ~kind:Cr_obs.Obs.Max "explicit.largest"
+
 type 'a t = {
   name : string;
   states : 'a array;
@@ -127,6 +135,15 @@ let initials_of is_initial_arr =
   done;
   out
 
+let record_built t =
+  if Cr_obs.Obs.tracking () then begin
+    Cr_obs.Obs.incr c_systems;
+    Cr_obs.Obs.add c_states (num_states t);
+    Cr_obs.Obs.add c_transitions (num_transitions t);
+    Cr_obs.Obs.record_max c_largest (num_states t)
+  end;
+  t
+
 let hashtbl_index states name =
   let n = Array.length states in
   let lookup = Hashtbl.create (2 * n + 1) in
@@ -140,6 +157,7 @@ let hashtbl_index states name =
   fun s -> Hashtbl.find_opt lookup s
 
 let of_edge_lists ~name ~states ~pp_state ~is_initial ~succ_lists =
+  Cr_obs.Obs.span "explicit.of_edge_lists" @@ fun () ->
   let n = Array.length states in
   let index = hashtbl_index states name in
   let succ =
@@ -149,14 +167,16 @@ let of_edge_lists ~name ~states ~pp_state ~is_initial ~succ_lists =
   in
   let pred = transpose n succ in
   let is_initial_arr = Array.map is_initial states in
-  { name; states; index; succ; pred; is_initial = is_initial_arr;
-    initials = initials_of is_initial_arr; pp_state }
+  record_built
+    { name; states; index; succ; pred; is_initial = is_initial_arr;
+      initials = initials_of is_initial_arr; pp_state }
 
 (* Direct indexed constructor: [state]/[index] must be mutually inverse
    bijections between [0 .. num_states - 1] and Sigma (e.g. mixed-radix
    rank/unrank of a variable layout).  No hashing, no duplicate scan: the
    whole compilation is O(num_states * branching * cost(index)). *)
 let of_indexed ~name ~num_states ~state ~index ~step ~is_initial ~pp_state =
+  Cr_obs.Obs.span "explicit.of_indexed" @@ fun () ->
   let states = Array.init num_states state in
   let to_index s =
     match index s with
@@ -178,10 +198,12 @@ let of_indexed ~name ~num_states ~state ~index ~step ~is_initial ~pp_state =
   in
   let pred = transpose num_states succ in
   let is_initial_arr = Array.map is_initial states in
-  { name; states; index; succ; pred; is_initial = is_initial_arr;
-    initials = initials_of is_initial_arr; pp_state }
+  record_built
+    { name; states; index; succ; pred; is_initial = is_initial_arr;
+      initials = initials_of is_initial_arr; pp_state }
 
 let of_system (sys : 'a System.t) =
+  Cr_obs.Obs.span "explicit.of_system" @@ fun () ->
   let states = Array.of_list sys.System.states in
   let index = hashtbl_index states sys.System.name in
   let to_index s =
@@ -205,9 +227,10 @@ let of_system (sys : 'a System.t) =
   in
   let pred = transpose n succ in
   let is_initial_arr = Array.map sys.System.is_initial states in
-  { name = sys.System.name; states; index; succ; pred;
-    is_initial = is_initial_arr; initials = initials_of is_initial_arr;
-    pp_state = sys.System.pp }
+  record_built
+    { name = sys.System.name; states; index; succ; pred;
+      is_initial = is_initial_arr; initials = initials_of is_initial_arr;
+      pp_state = sys.System.pp }
 
 (* Box on explicit systems over the same enumeration. *)
 let same_states t1 t2 =
@@ -222,11 +245,12 @@ let same_states t1 t2 =
 let box ?name t1 t2 =
   if not (same_states t1 t2) then
     invalid_arg "Explicit.box: systems do not share a state space";
+  Cr_obs.Obs.span "explicit.box" @@ fun () ->
   let name = match name with Some n -> n | None -> t1.name ^ "[]" ^ t2.name in
   let n = Array.length t1.states in
   let succ = Array.init n (fun i -> merge_sorted t1.succ.(i) t2.succ.(i)) in
   let pred = transpose n succ in
-  { t1 with name; succ; pred }
+  record_built { t1 with name; succ; pred }
 
 let same_transitions t1 t2 =
   same_states t1 t2

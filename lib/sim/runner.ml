@@ -39,14 +39,25 @@ type stats = {
   min_steps_observed : int;
 }
 
+(* With zero converged runs there is no step distribution: mean is NaN
+   and min/max carry sentinel values, so print "-" instead of garbage. *)
 let pp_stats fmt s =
-  Fmt.pf fmt "%d/%d converged, steps mean %.1f min %d max %d" s.converged
-    s.samples s.mean_steps s.min_steps_observed s.max_steps_observed
+  if s.converged = 0 then
+    Fmt.pf fmt "%d/%d converged, steps mean - min - max -" s.converged
+      s.samples
+  else
+    Fmt.pf fmt "%d/%d converged, steps mean %.1f min %d max %d" s.converged
+      s.samples s.mean_steps s.min_steps_observed s.max_steps_observed
+
+let c_episodes = Cr_obs.Obs.counter "runner.episodes"
+let c_converged = Cr_obs.Obs.counter "runner.converged"
+let c_steps_total = Cr_obs.Obs.counter "runner.steps_total"
 
 (* Monte-Carlo convergence statistics from random corrupted states. *)
 let convergence_stats ?(samples = 200) ?(max_steps = 100_000) ~seed
     ~(converged : Layout.state -> bool) (mk_daemon : int -> Daemon.t)
     (p : Program.t) : stats =
+  Cr_obs.Obs.span "runner.convergence_stats" @@ fun () ->
   let rng = Random.State.make [| seed |] in
   let layout = Program.layout p in
   let random_state () =
@@ -75,6 +86,11 @@ let convergence_stats ?(samples = 200) ?(max_steps = 100_000) ~seed
           if k < !mini then mini := k
       | None -> ())
     outcomes;
+  if Cr_obs.Obs.tracking () then begin
+    Cr_obs.Obs.add c_episodes samples;
+    Cr_obs.Obs.add c_converged !conv;
+    Cr_obs.Obs.add c_steps_total !total
+  end;
   {
     samples;
     converged = !conv;

@@ -26,6 +26,8 @@ type stats = {
 }
 
 val pp_stats : Format.formatter -> stats -> unit
+(** One-line rendering; with zero converged runs the step statistics are
+    printed as ["-"] (there is no distribution to summarize). *)
 
 val convergence_stats :
   ?samples:int ->
