@@ -2,17 +2,24 @@
 # Minimal CI gate: full build (including benches and examples) + test suite,
 # then a telemetry smoke run: CR_STATS/CR_TRACE must produce a summary and a
 # well-formed, non-empty Chrome-trace JSON, and --stats must print verdict
-# costs.
+# costs.  Finally the static-analysis gate: crcheck lint --all must report
+# zero error-severity findings over every registry system at the default
+# ring size, and its --json findings artifact must be well-formed JSON.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
 
 trace=$(mktemp /tmp/cr.trace.XXXXXX)
-trap 'rm -f "$trace"' EXIT
+lintjson=$(mktemp /tmp/cr.lint.XXXXXX)
+trap 'rm -f "$trace" "$lintjson"' EXIT
 
 CR_STATS=1 CR_TRACE="$trace" dune exec bin/crcheck.exe -- verify dijkstra3 --stats
 test -s "$trace" || { echo "ci: CR_TRACE produced no output" >&2; exit 1; }
 dune exec bin/trace_lint.exe -- "$trace"
+
+dune exec bin/crcheck.exe -- lint --all --json "$lintjson" > /dev/null
+test -s "$lintjson" || { echo "ci: lint --json produced no output" >&2; exit 1; }
+dune exec bin/trace_lint.exe -- --json-only "$lintjson"
 
 echo "ci: OK"

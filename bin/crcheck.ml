@@ -5,6 +5,7 @@
      crcheck refine CONCRETE [-n N]      check [CONCRETE ⪯ its spec]
      crcheck trace SYSTEM [-n N] ...     inject faults and print recovery
      crcheck kstate [-n N] [-k K]        K-state threshold exploration
+     crcheck lint SYSTEM|--all [-n N]    static analysis of the programs
 *)
 
 open Cmdliner
@@ -31,12 +32,14 @@ let pp_cost what = function
   | Some [] -> pf "%s cost: (no counter movement)@." what
   | Some cost -> pf "%s cost:@.%a@." what Cr_obs.Obs.pp_snapshot cost
 
+(* Unknown systems are a usage error: report on stderr and exit 2, so
+   piped stdout (tables, --json artifacts) stays clean. *)
 let with_entry name f =
   match Cr_experiments.Registry.find name with
   | None ->
-      pf "unknown system %S; try: %s@." name
+      Format.eprintf "unknown system %S; try: %s@." name
         (String.concat ", " (Cr_experiments.Registry.names ()));
-      1
+      2
   | Some e -> f e
 
 (* ---- list ---- *)
@@ -300,6 +303,87 @@ let spans_cmd =
        ~doc:"Fault-span analysis: recovery cost vs number of faults")
     Term.(const spans $ system_arg $ n_arg)
 
+(* ---- lint ---- *)
+
+let lint name all n json stats =
+  if stats then Cr_obs.Obs.force_enable ();
+  let audit_rows () =
+    match (all, name) with
+    | true, None -> Ok (Cr_experiments.Lint_exps.audit ~n ())
+    | false, Some name -> (
+        match Cr_experiments.Registry.find name with
+        | Some e -> Ok [ Cr_experiments.Lint_exps.audit_entry ~n e ]
+        | None ->
+            Format.eprintf "unknown system %S; try: %s@." name
+              (String.concat ", " (Cr_experiments.Registry.names ()));
+            Error 2)
+    | true, Some _ | false, None ->
+        Format.eprintf "lint: give exactly one of SYSTEM or --all@.";
+        Error 2
+  in
+  let before = if stats then Some (Cr_obs.Obs.merged_snapshot ()) else None in
+  match audit_rows () with
+  | Error rc -> rc
+  | Ok rows ->
+      List.iter
+        (fun row ->
+          List.iter
+            (fun f -> pf "%a@." Cr_lint.Lint.pp_finding f)
+            row.Cr_experiments.Lint_exps.report.Cr_lint.Lint.findings)
+        rows;
+      let errors = Cr_experiments.Lint_exps.total_errors rows in
+      let findings =
+        List.fold_left
+          (fun acc r ->
+            acc
+            + List.length r.Cr_experiments.Lint_exps.report.Cr_lint.Lint.findings)
+          0 rows
+      in
+      pf "lint: %d system(s), %d finding(s), %d error(s)@." (List.length rows)
+        findings errors;
+      (match json with
+      | None -> ()
+      | Some path ->
+          let body = Cr_experiments.Lint_exps.to_json ~n rows in
+          (match Cr_obs.Json_check.validate_string body with
+          | Ok () -> ()
+          | Error msg ->
+              Format.eprintf "lint: internal error: --json artifact invalid: %s@." msg;
+              exit 3);
+          let oc = open_out path in
+          output_string oc body;
+          close_out oc;
+          pf "wrote %s@." path);
+      (match before with
+      | Some before ->
+          pp_cost "lint"
+            (Some (Cr_obs.Obs.diff ~before ~after:(Cr_obs.Obs.merged_snapshot ())))
+      | None -> ());
+      if errors > 0 then 1 else 0
+
+let lint_cmd =
+  let system_opt =
+    let doc = "System to lint; see $(b,crcheck list).  Omit with $(b,--all)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Lint every registry system.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the findings as JSON to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis of the guarded-command programs: exact \
+          read/write-set inference plus metadata-soundness, locality, \
+          synchrony, liveness and interference checks.  Exits nonzero on \
+          error-severity findings.")
+    Term.(const lint $ system_opt $ all_arg $ n_arg $ json_arg $ stats_arg)
+
 (* ---- experiments ---- *)
 
 let experiments_cmd =
@@ -321,6 +405,6 @@ let experiments_cmd =
 let main =
   let doc = "model checking and refinement checking for Convergence Refinement" in
   let info = Cmd.info "crcheck" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; verify_cmd; refine_cmd; trace_cmd; kstate_cmd; spans_cmd; dot_cmd; experiments_cmd ]
+  Cmd.group info [ list_cmd; verify_cmd; refine_cmd; trace_cmd; kstate_cmd; spans_cmd; dot_cmd; lint_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval' main)

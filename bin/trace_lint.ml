@@ -1,23 +1,31 @@
 (* trace_lint — validate a CR_TRACE Chrome-trace export.
 
-     trace_lint FILE
+     trace_lint FILE              validate a Chrome-trace artifact
+     trace_lint --json-only FILE  only check FILE is well-formed JSON
+                                  (e.g. the crcheck lint --json report)
 
-   Exits 0 when FILE is well-formed JSON containing at least one trace
-   event, non-zero otherwise.  Used by bin/ci.sh to smoke-test the
-   CR_TRACE pipeline without a JSON library dependency. *)
+   Exits 0 when FILE is well-formed JSON (and, without --json-only,
+   contains at least one trace event), non-zero otherwise.  Used by
+   bin/ci.sh to gate the CR_TRACE and lint artifacts without a JSON
+   library dependency. *)
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
 
 let () =
-  let path =
+  let json_only, path =
     match Sys.argv with
-    | [| _; path |] -> path
-    | _ -> fail "usage: trace_lint FILE"
+    | [| _; path |] -> (false, path)
+    | [| _; "--json-only"; path |] -> (true, path)
+    | _ -> fail "usage: trace_lint [--json-only] FILE"
   in
   if not (Sys.file_exists path) then fail "trace_lint: no such file: %s" path;
   (match Cr_obs.Json_check.validate_file path with
   | Ok () -> ()
   | Error msg -> fail "trace_lint: %s: invalid JSON: %s" path msg);
+  if json_only then begin
+    Printf.printf "trace_lint: %s OK (well-formed JSON)\n" path;
+    exit 0
+  end;
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let body = really_input_string ic len in

@@ -1,0 +1,44 @@
+(* Registry-wide static-analysis sweep: audit every bundled system's
+   guarded-command program with Cr_lint at one ring size.  Backs
+   [crcheck lint --all] and the interference comparison of the E17
+   appendix (I1 pairs on Dijkstra-3 vs their disappearance on the
+   read/write-atomicity refinement). *)
+
+type row = {
+  entry : Registry.entry;
+  report : Cr_lint.Lint.report;
+}
+
+let audit_entry ~n (e : Registry.entry) : row =
+  { entry = e; report = Cr_lint.Lint.run ~allow:e.Registry.lint_allow (e.Registry.program n) }
+
+let audit ?(n = 3) () : row list =
+  Cr_obs.Obs.span "lint.audit_all" @@ fun () ->
+  List.map (audit_entry ~n) Registry.entries
+
+let total_errors rows =
+  List.fold_left (fun acc r -> acc + Cr_lint.Lint.errors r.report) 0 rows
+
+let to_json ~n rows =
+  Cr_lint.Lint.reports_to_json ~n
+    (List.map (fun r -> (r.entry.Registry.name, r.report)) rows)
+
+(* I1 interference-pair counts for the E17 story: the shared-memory
+   Dijkstra-3 reads neighbour counters inside effectful actions; the
+   rw_atomicity refinement moves every remote read into an atomic
+   cache-fill copy, which I1 exempts. *)
+let interference_count ~n name =
+  match Registry.find name with
+  | None -> invalid_arg ("Lint_exps.interference_count: unknown system " ^ name)
+  | Some e ->
+      let r = audit_entry ~n e in
+      List.length (Cr_lint.Lint.find_key "I1" r.report)
+
+let pp_summary fmt rows =
+  List.iter
+    (fun r ->
+      let errs = Cr_lint.Lint.errors r.report in
+      let total = List.length r.report.Cr_lint.Lint.findings in
+      Fmt.pf fmt "%-14s %-22s %d finding(s), %d error(s)@."
+        r.entry.Registry.name r.report.Cr_lint.Lint.program_name total errs)
+    rows

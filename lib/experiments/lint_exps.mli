@@ -1,0 +1,20 @@
+(** Registry-wide static-analysis sweep (backs [crcheck lint --all]). *)
+
+type row = { entry : Registry.entry; report : Cr_lint.Lint.report }
+
+val audit_entry : n:int -> Registry.entry -> row
+
+val audit : ?n:int -> unit -> row list
+(** Lint every registry system's program at ring size [n] (default 3),
+    with each entry's allowlist applied. *)
+
+val total_errors : row list -> int
+
+val to_json : n:int -> row list -> string
+(** The [crcheck lint --all --json] artifact. *)
+
+val interference_count : n:int -> string -> int
+(** Number of I1 interference-pair findings for one registry system —
+    the E17 appendix compares dijkstra3 against rw-dijkstra3. *)
+
+val pp_summary : Format.formatter -> row list -> unit

@@ -11,6 +11,10 @@ type entry = {
   alpha : int -> (Layout.state, Layout.state) Cr_semantics.Abstraction.t;
   converged : int -> Layout.state -> bool;
   render : int -> Layout.state -> string;  (* one-line picture for traces *)
+  lint_allow : string list;
+      (* lint checks to downgrade for this system; the abstract
+         neighbour-writing models allowlist P1 (shared-slot writes are
+         the point of the abstract execution model, cf. Section 3) *)
 }
 
 let id_alpha _n = Cr_semantics.Abstraction.identity ()
@@ -25,6 +29,7 @@ let entries : entry list =
       alpha = Cr_tokenring.Btr3.alpha;
       converged = Cr_tokenring.Btr3.one_token;
       render = (fun n s -> Cr_tokenring.Render.counters3_line n s);
+      lint_allow = [];
     };
     {
       name = "dijkstra4";
@@ -34,6 +39,7 @@ let entries : entry list =
       alpha = Cr_tokenring.Btr4.alpha;
       converged = Cr_tokenring.Btr4.one_token;
       render = (fun n s -> Cr_tokenring.Render.tokens_line n (Cr_tokenring.Btr4.to_tokens n s));
+      lint_allow = [];
     };
     {
       name = "c1";
@@ -43,6 +49,7 @@ let entries : entry list =
       alpha = Cr_tokenring.Btr4.alpha;
       converged = Cr_tokenring.Btr4.one_token;
       render = (fun n s -> Cr_tokenring.Render.tokens_line n (Cr_tokenring.Btr4.to_tokens n s));
+      lint_allow = [];
     };
     {
       name = "c2";
@@ -52,6 +59,7 @@ let entries : entry list =
       alpha = Cr_tokenring.Btr3.alpha;
       converged = Cr_tokenring.Btr3.one_token;
       render = (fun n s -> Cr_tokenring.Render.counters3_line n s);
+      lint_allow = [];
     };
     {
       name = "c2-wrapped";
@@ -61,6 +69,7 @@ let entries : entry list =
       alpha = Cr_tokenring.Btr3.alpha;
       converged = Cr_tokenring.Btr3.one_token;
       render = (fun n s -> Cr_tokenring.Render.counters3_line n s);
+      lint_allow = [];
     };
     {
       name = "c3";
@@ -70,6 +79,7 @@ let entries : entry list =
       alpha = Cr_tokenring.C3_system.alpha;
       converged = Cr_tokenring.Btr3.one_token;
       render = (fun n s -> Cr_tokenring.Render.counters3_line n s);
+      lint_allow = [];
     };
     {
       name = "new3";
@@ -79,6 +89,7 @@ let entries : entry list =
       alpha = Cr_tokenring.C3_system.alpha;
       converged = Cr_tokenring.Btr3.one_token;
       render = (fun n s -> Cr_tokenring.Render.counters3_line n s);
+      lint_allow = [];
     };
     {
       name = "btr";
@@ -88,6 +99,7 @@ let entries : entry list =
       alpha = id_alpha;
       converged = Cr_tokenring.Btr.invariant;
       render = (fun n s -> Cr_tokenring.Render.tokens_line n s);
+      lint_allow = [ "P1" ];
     };
     {
       name = "btr-wrapped";
@@ -97,6 +109,7 @@ let entries : entry list =
       alpha = id_alpha;
       converged = Cr_tokenring.Btr.invariant;
       render = (fun n s -> Cr_tokenring.Render.tokens_line n s);
+      lint_allow = [ "P1" ];
     };
     {
       name = "kstate";
@@ -106,6 +119,7 @@ let entries : entry list =
       alpha = (fun n -> Cr_tokenring.Kstate.alpha ~n ~k:(n + 1));
       converged = (fun n s -> Cr_tokenring.Kstate.token_count n s = 1);
       render = (fun n s -> Cr_tokenring.Render.utr_line (Cr_tokenring.Kstate.to_tokens n s));
+      lint_allow = [];
     };
     {
       name = "rw-dijkstra3";
@@ -119,6 +133,7 @@ let entries : entry list =
           Cr_tokenring.Btr.token_count n (Cr_tokenring.Rw_atomicity.to_tokens n s)
           = 1);
       render = (fun n s -> Cr_tokenring.Render.counters3_line n (Cr_tokenring.Rw_atomicity.to_counters n s));
+      lint_allow = [];
     };
     {
       name = "utr";
@@ -128,6 +143,7 @@ let entries : entry list =
       alpha = id_alpha;
       converged = (fun _n s -> Cr_tokenring.Utr.invariant s);
       render = (fun _n s -> Cr_tokenring.Render.utr_line s);
+      lint_allow = [ "P1" ];
     };
   ]
 

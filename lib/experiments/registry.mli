@@ -11,6 +11,9 @@ type entry = {
   alpha : int -> (Layout.state, Layout.state) Cr_semantics.Abstraction.t;
   converged : int -> Layout.state -> bool;
   render : int -> Layout.state -> string;
+  lint_allow : string list;
+      (** lint checks to downgrade for this system (see {!Cr_lint.Lint}):
+          the abstract neighbour-writing models allowlist [P1] *)
 }
 
 val entries : entry list

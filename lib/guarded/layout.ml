@@ -58,6 +58,16 @@ let rank t (s : state) =
   done;
   !k
 
+(* Mixed-radix digit weight of a slot: the rank stride between two states
+   that differ by one in that slot.  Lets analyses iterate "slot lines"
+   (all states agreeing everywhere except one slot) by pure arithmetic. *)
+let weight t i =
+  let w = ref 1 in
+  for k = 0 to i - 1 do
+    w := !w * t.vars.(k).dom
+  done;
+  !w
+
 let unrank t k =
   let n = Array.length t.vars in
   let s = Array.make n 0 in

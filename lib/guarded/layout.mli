@@ -31,6 +31,12 @@ val rank : t -> state -> int
 val unrank : t -> int -> state
 (** Inverse of {!rank}: the state at a given index. *)
 
+val weight : t -> int -> int
+(** Mixed-radix digit weight of a slot: the rank stride between two
+    states differing by exactly one in that slot.  Supports slot-line
+    iteration in analyses (e.g. read-set inference by finite
+    differencing). *)
+
 val enumerate : t -> state list
 (** All states, in mixed-radix order (slot 0 fastest). *)
 

@@ -18,6 +18,17 @@ let actions t = t.actions
 let initial t = t.initial
 let rename n t = { t with name = n }
 let with_initial initial t = { t with initial }
+let with_actions actions t = { t with actions }
+
+(* Distinct owning processes (>= 0) of the program's actions, sorted.
+   Global wrapper actions (proc -1) are not listed. *)
+let procs t =
+  List.filter_map
+    (fun a ->
+      let p = Action.proc a in
+      if p >= 0 then Some p else None)
+    t.actions
+  |> List.sort_uniq compare
 
 let same_layout t1 t2 =
   (* Layouts are compared structurally via their printed variables. *)

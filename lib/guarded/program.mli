@@ -22,6 +22,14 @@ val initial : t -> state -> bool
 val rename : string -> t -> t
 val with_initial : (state -> bool) -> t -> t
 
+val with_actions : Action.t list -> t -> t
+(** Replace the action list (e.g. to test daemon order-sensitivity by
+    reordering). *)
+
+val procs : t -> int list
+(** The distinct owning processes (>= 0) of the actions, sorted; global
+    wrapper actions (proc -1) are not listed. *)
+
 val same_layout : t -> t -> bool
 
 val box : ?name:string -> t -> t -> t

@@ -1,0 +1,412 @@
+(* Cr_lint: a static-analysis pass over guarded-command programs.
+
+   Every system in the reproduction declares [proc] and [writes] metadata
+   on its actions but keeps guards/effects as opaque closures; the
+   synchronous daemon, wrapper priority and the read/write-atomicity
+   experiment all silently trust that metadata.  This pass makes the
+   trust assumptions checkable: it infers exact read/write sets per
+   action (Rwsets) and runs a battery of keyed checks.
+
+   Check catalogue (keys, default severities):
+     W1 error    declared-writes unsoundness: effect writes an undeclared slot
+     W2 warning  over-declaration: a declared slot is never written
+     P1 error    ownership violation: a slot is written by several processes
+                 (info when allowlisted — the paper's abstract
+                 neighbour-writing models do this on purpose)
+     G1 warning  same-process overlap with diverging effects: makes
+                 Program.synchronous_step's first-enabled-per-process
+                 choice order-dependent
+     D1 error    domain violation: an effect can leave Layout.valid
+     U1 warning  dead action: never enabled in the full state space
+        info     live in the full space but never enabled from the
+                 initial states (fault-free executions)
+     S1 warning  stuttering-only action: enabled somewhere, but every
+                 firing is a no-op
+     I1 info     interference pair: process i writes a slot that an
+                 action of process j reads — unless the reader is an
+                 atomic read step (single verbatim copy of one remote
+                 slot into a private slot), the refinement shape that
+                 makes the hazard disappear in the rw_atomicity system
+     L1 error    duplicate action labels across a box composition *)
+
+open Cr_guarded
+
+type severity = Error | Warning | Info
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type finding = {
+  key : string;
+  severity : severity;
+  program : string;
+  action : string;  (* "-" for program-level findings *)
+  message : string;
+}
+
+type report = {
+  program_name : string;
+  findings : finding list;
+  infos : Rwsets.info list;  (* the inferred read/write sets, per action *)
+}
+
+let c_programs = Cr_obs.Obs.counter "lint.programs"
+let c_findings = Cr_obs.Obs.counter "lint.findings"
+let c_errors = Cr_obs.Obs.counter "lint.errors"
+
+let errors r =
+  List.length (List.filter (fun f -> f.severity = Error) r.findings)
+
+let find_key key r = List.filter (fun f -> f.key = key) r.findings
+
+(* ---- helpers ---- *)
+
+let slot_names layout slots =
+  String.concat "," (List.map (Layout.var_name layout) slots)
+
+let state_str layout s = Fmt.str "%a" (Layout.pp_state layout) s
+
+let diff_sorted a b = List.filter (fun x -> not (List.mem x b)) a
+
+(* ---- the checks ---- *)
+
+(* W1/W2: declared [writes] metadata vs the exact write set. *)
+let check_writes layout mk info =
+  let a = info.Rwsets.action in
+  let declared = List.sort_uniq compare (Action.writes a) in
+  let exact = info.Rwsets.writes in
+  let undeclared = diff_sorted exact declared in
+  let overdeclared = diff_sorted declared exact in
+  let w1 =
+    if undeclared = [] then []
+    else
+      [
+        mk "W1" Error (Action.label a)
+          (Printf.sprintf
+             "effect writes undeclared slot(s) {%s}; declared writes {%s}"
+             (slot_names layout undeclared)
+             (slot_names layout declared));
+      ]
+  in
+  (* Over-declaration is only meaningful for actions that fire at all;
+     dead or stuttering-only actions are reported by U1/S1 instead. *)
+  let w2 =
+    if overdeclared = [] || info.Rwsets.firing_states = 0 then []
+    else
+      [
+        mk "W2" Warning (Action.label a)
+          (Printf.sprintf
+             "declared write slot(s) {%s} never written by the effect"
+             (slot_names layout overdeclared));
+      ]
+  in
+  w1 @ w2
+
+(* P1: a slot exactly-written by actions of two or more distinct
+   processes.  Under interleaving semantics that is a locality violation
+   for the paper's concrete systems; the abstract neighbour-writing
+   models (BTR, BTR_3, UTR) do it on purpose and are allowlisted. *)
+let check_ownership layout mk ~allowed infos =
+  let nv = Layout.num_vars layout in
+  let writers = Array.make nv [] in
+  List.iter
+    (fun info ->
+      let p = Action.proc info.Rwsets.action in
+      if p >= 0 then
+        List.iter
+          (fun w ->
+            if not (List.mem_assoc p writers.(w)) then
+              writers.(w) <- (p, Action.label info.Rwsets.action) :: writers.(w))
+          info.Rwsets.writes)
+    infos;
+  let fs = ref [] in
+  for w = nv - 1 downto 0 do
+    let ps = List.sort_uniq compare (List.map fst writers.(w)) in
+    if List.length ps >= 2 then begin
+      let sev = if allowed then Info else Error in
+      let note = if allowed then " (allowlisted: abstract neighbour-writing model)" else "" in
+      fs :=
+        mk "P1" sev "-"
+          (Printf.sprintf "slot %s written by processes %s (actions %s)%s"
+             (Layout.var_name layout w)
+             (String.concat "," (List.map string_of_int ps))
+             (String.concat ", " (List.rev_map snd writers.(w)))
+             note)
+        :: !fs
+    end
+  done;
+  !fs
+
+(* G1: two actions of one process both fire at some state with different
+   results under the synchronous daemon's merge of declared writes — the
+   first-enabled-per-process choice is then order-dependent. *)
+let check_sync_overlap layout mk p =
+  Cr_obs.Obs.span "lint.g1_scan" @@ fun () ->
+  let ns = Layout.num_states layout in
+  let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let fs = ref [] in
+  let masked s (a, target) =
+    let s' = Array.copy s in
+    List.iter
+      (fun i ->
+        if i >= 0 && i < Array.length target then s'.(i) <- target.(i))
+      (Action.writes a);
+    s'
+  in
+  for k = 0 to ns - 1 do
+    let s = Layout.unrank layout k in
+    let firings = Program.firings p s in
+    let by_proc = Hashtbl.create 4 in
+    List.iter
+      (fun ((a, _) as f) ->
+        let pr = Action.proc a in
+        Hashtbl.replace by_proc pr (f :: (try Hashtbl.find by_proc pr with Not_found -> [])))
+      firings;
+    Hashtbl.iter
+      (fun pr fires ->
+        match List.rev fires with
+        | [] | [ _ ] -> ()
+        | first :: rest ->
+            let m0 = masked s first in
+            List.iter
+              (fun ((b, _) as fb) ->
+                let key = (Action.label (fst first), Action.label b) in
+                if not (Hashtbl.mem seen key) && masked s fb <> m0 then begin
+                  Hashtbl.add seen key ();
+                  fs :=
+                    mk "G1" Warning (Action.label (fst first))
+                      (Printf.sprintf
+                         "actions %s and %s of process %d both fire at %s \
+                          with different synchronous-merge results \
+                          (synchronous_step is action-order dependent)"
+                         (Action.label (fst first)) (Action.label b) pr
+                         (state_str layout s))
+                    :: !fs
+                end)
+              rest)
+      by_proc
+  done;
+  List.rev !fs
+
+(* D1: an enabled state whose effect leaves the layout. *)
+let check_domains layout mk info =
+  match info.Rwsets.invalid_witness with
+  | None -> []
+  | Some s ->
+      [
+        mk "D1" Error (Action.label info.Rwsets.action)
+          (Printf.sprintf "effect leaves the variable domains at %s"
+             (state_str layout s));
+      ]
+
+(* U1/S1: dead and stuttering-only actions.  The reachable variant runs
+   only for actions that are live in the full space. *)
+let check_liveness mk ~reachable info =
+  let a = info.Rwsets.action in
+  if info.Rwsets.enabled_states = 0 then
+    [ mk "U1" Warning (Action.label a) "never enabled in the full state space" ]
+  else if info.Rwsets.firing_states = 0 then
+    [
+      mk "S1" Warning (Action.label a)
+        (Printf.sprintf
+           "stuttering-only: enabled at %d state(s) but every firing is a no-op"
+           info.Rwsets.enabled_states);
+    ]
+  else
+    match reachable with
+    | None -> []
+    | Some tbl ->
+        let alive = ref false in
+        (try
+           Hashtbl.iter
+             (fun s () ->
+               if a.Action.guard s then begin
+                 alive := true;
+                 raise Exit
+               end)
+             tbl
+         with Exit -> ());
+        if !alive then []
+        else
+          [
+            mk "U1" Info (Action.label a)
+              "never enabled from the initial states (fault-free executions)";
+          ]
+
+(* I1: interference pairs.  Process i writes a slot that an action of
+   process j reads (in its guard or effect) — the read races with the
+   write under interleaving at low atomicity.  The reader is exempt when
+   it is an atomic read step: it writes exactly one slot, private to its
+   process, as a verbatim copy of the single remote slot it reads — the
+   rw_atomicity refinement's cache-fill shape. *)
+let check_interference layout mk infos =
+  let nv = Layout.num_vars layout in
+  (* writers.(w) = procs (>= 0) writing w, with one witness action each *)
+  let writers = Array.make nv [] in
+  (* touched.(w) = procs of every action reading or writing w (incl. -1) *)
+  let touched = Array.make nv [] in
+  List.iter
+    (fun info ->
+      let p = Action.proc info.Rwsets.action in
+      let lbl = Action.label info.Rwsets.action in
+      List.iter
+        (fun w ->
+          if p >= 0 && not (List.exists (fun (q, _) -> q = p) writers.(w)) then
+            writers.(w) <- (p, lbl) :: writers.(w);
+          if not (List.mem p touched.(w)) then touched.(w) <- p :: touched.(w))
+        info.Rwsets.writes;
+      List.iter
+        (fun r ->
+          if not (List.mem p touched.(r)) then touched.(r) <- p :: touched.(r))
+        (Rwsets.reads info))
+    infos;
+  let cross_reads info =
+    let p = Action.proc info.Rwsets.action in
+    List.filter
+      (fun r -> List.exists (fun (q, _) -> q <> p) writers.(r))
+      (Rwsets.reads info)
+  in
+  let is_read_step info =
+    let p = Action.proc info.Rwsets.action in
+    match (info.Rwsets.writes, cross_reads info) with
+    | [ w ], [ r ] ->
+        (* private destination: no other process touches w *)
+        List.for_all (fun q -> q = p) touched.(w)
+        && List.mem r info.Rwsets.copy_sources
+    | _ -> false
+  in
+  List.concat_map
+    (fun reader ->
+      let pj = Action.proc reader.Rwsets.action in
+      if pj < 0 || is_read_step reader then []
+      else
+        List.filter_map
+          (fun r ->
+            match List.filter (fun (q, _) -> q <> pj) writers.(r) with
+            | [] -> None
+            | remote ->
+                Some
+                  (mk "I1" Info
+                     (Action.label reader.Rwsets.action)
+                     (Printf.sprintf
+                        "reads slot %s written by other process(es): %s"
+                        (Layout.var_name layout r)
+                        (String.concat ", "
+                           (List.rev_map
+                              (fun (q, lbl) -> Printf.sprintf "%s (proc %d)" lbl q)
+                              remote)))))
+          (cross_reads reader))
+    infos
+
+(* L1: duplicate action labels (box compositions can silently collide). *)
+let check_labels mk p =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let l = Action.label a in
+      Hashtbl.replace tbl l (1 + (try Hashtbl.find tbl l with Not_found -> 0)))
+    (Program.actions p);
+  Hashtbl.fold
+    (fun l n acc ->
+      if n > 1 then
+        mk "L1" Error l
+          (Printf.sprintf "label occurs %d times across the composition" n)
+        :: acc
+      else acc)
+    tbl []
+
+(* ---- the pass ---- *)
+
+let key_order = [ "W1"; "W2"; "P1"; "G1"; "D1"; "U1"; "S1"; "I1"; "L1" ]
+
+let key_rank k =
+  let rec go i = function
+    | [] -> List.length key_order
+    | x :: tl -> if x = k then i else go (i + 1) tl
+  in
+  go 0 key_order
+
+let run ?(allow = []) ?(reachable_check = true) (p : Program.t) : report =
+  Cr_obs.Obs.span "lint.program" @@ fun () ->
+  let layout = Program.layout p in
+  let name = Program.name p in
+  let mk key severity action message =
+    { key; severity; program = name; action; message }
+  in
+  let infos = Rwsets.of_program p in
+  let reachable =
+    if not reachable_check then None
+    else
+      Cr_obs.Obs.span "lint.reachable" @@ fun () ->
+      let seeds =
+        List.filter (Program.initial p) (Layout.enumerate layout)
+      in
+      Some (Program.reachable_from p seeds)
+  in
+  let findings =
+    List.concat
+      [
+        List.concat_map (check_writes layout mk) infos;
+        check_ownership layout mk ~allowed:(List.mem "P1" allow) infos;
+        check_sync_overlap layout mk p;
+        List.concat_map (check_domains layout mk) infos;
+        List.concat_map (check_liveness mk ~reachable) infos;
+        check_interference layout mk infos;
+        check_labels mk p;
+      ]
+  in
+  let findings =
+    List.stable_sort
+      (fun a b -> compare (key_rank a.key) (key_rank b.key))
+      findings
+  in
+  Cr_obs.Obs.incr c_programs;
+  Cr_obs.Obs.add c_findings (List.length findings);
+  Cr_obs.Obs.add c_errors
+    (List.length (List.filter (fun f -> f.severity = Error) findings));
+  { program_name = name; findings; infos }
+
+(* ---- rendering ---- *)
+
+let pp_finding fmt f =
+  Fmt.pf fmt "%-3s %-7s %-22s %-14s %s" f.key (severity_string f.severity)
+    f.program f.action f.message
+
+(* Minimal JSON emission (validated by Cr_obs.Json_check; no JSON
+   dependency, mirroring the trace exporter). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_to_json f =
+  Printf.sprintf
+    "{\"key\":\"%s\",\"severity\":\"%s\",\"program\":\"%s\",\"action\":\"%s\",\"message\":\"%s\"}"
+    (json_escape f.key)
+    (severity_string f.severity)
+    (json_escape f.program) (json_escape f.action) (json_escape f.message)
+
+let report_to_json ?(entry = "") r =
+  Printf.sprintf
+    "{\"entry\":\"%s\",\"program\":\"%s\",\"errors\":%d,\"findings\":[%s]}"
+    (json_escape entry)
+    (json_escape r.program_name)
+    (errors r)
+    (String.concat "," (List.map finding_to_json r.findings))
+
+let reports_to_json ~n (rs : (string * report) list) =
+  Printf.sprintf "{\"version\":1,\"n\":%d,\"systems\":[%s]}" n
+    (String.concat ","
+       (List.map (fun (entry, r) -> report_to_json ~entry r) rs))

@@ -1,0 +1,69 @@
+(** A static-analysis pass over guarded-command programs.
+
+    Infers exact read/write sets per action ({!Rwsets}) and runs a
+    battery of keyed checks over them:
+
+    - [W1] (error): the effect writes a slot missing from the declared
+      [writes] metadata — the synchronous daemon and the ownership
+      checks silently trust that list.
+    - [W2] (warning): a declared slot is never written by any firing.
+    - [P1] (error; info when ["P1"] is allowlisted): a slot is written
+      by actions of two or more distinct processes — a locality
+      violation for concrete systems, intentional for the paper's
+      abstract neighbour-writing models.
+    - [G1] (warning): two actions of one process both fire at some state
+      with different synchronous-merge results, making
+      {!Cr_guarded.Program.synchronous_step}'s first-enabled choice
+      order-dependent.
+    - [D1] (error): an effect can produce a state failing
+      {!Cr_guarded.Layout.valid}.
+    - [U1] (warning / info): dead action — never enabled in the full
+      state space (warning), or live but never enabled from the initial
+      states (info).
+    - [S1] (warning): stuttering-only action — enabled somewhere, but
+      every firing is a no-op.
+    - [I1] (info): interference pair — a process reads a slot another
+      process writes, unless the reader is an atomic read step (a
+      verbatim copy of one remote slot into a private slot), the shape
+      the rw_atomicity refinement uses to eliminate the hazard.
+    - [L1] (error): duplicate action labels across a box composition. *)
+
+open Cr_guarded
+
+type severity = Error | Warning | Info
+
+val severity_string : severity -> string
+
+type finding = {
+  key : string;
+  severity : severity;
+  program : string;
+  action : string;  (** ["-"] for program-level findings *)
+  message : string;
+}
+
+type report = {
+  program_name : string;
+  findings : finding list;
+  infos : Rwsets.info list;  (** inferred read/write sets, per action *)
+}
+
+val run : ?allow:string list -> ?reachable_check:bool -> Program.t -> report
+(** Run every check.  [allow] downgrades the named checks where an
+    allowlist applies (currently [P1], for abstract neighbour-writing
+    systems).  [reachable_check:false] skips the reachable-from-initial
+    variant of U1 (it forces the program's initial-state closure). *)
+
+val errors : report -> int
+(** Number of error-severity findings. *)
+
+val find_key : string -> report -> finding list
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Prints [KEY severity program action message]. *)
+
+val report_to_json : ?entry:string -> report -> string
+
+val reports_to_json : n:int -> (string * report) list -> string
+(** The [crcheck lint --json] artifact: one object per audited registry
+    entry; well-formed per {!Cr_obs.Json_check}. *)

@@ -1,0 +1,187 @@
+(* Exact per-action read/write sets by finite differencing.
+
+   Guards and effects are opaque closures, but domains are finite, so
+   dependence is decidable by perturbation: slot i is read iff changing
+   only slot i can change the guard's value (guard read) or the effect's
+   written values (effect read), and written iff some enabled state's
+   effect changes it.  All sets are exact w.r.t. the program semantics:
+   reads are compared only across states the guard admits (a disabled
+   state never fires), and a slot the effect merely passes through
+   (output = input on every enabled state) is neither read nor written —
+   extensionally the effect does not touch it.
+
+   Cost per action: one full-space pass caching guard bits and effect
+   results by rank, then one arithmetic pass per slot over the "slot
+   lines" (states differing only in that slot, enumerated via
+   Layout.weight).  No hashing; memory is O(num_states) plus one cached
+   effect array per enabled state. *)
+
+open Cr_guarded
+
+type info = {
+  action : Action.t;
+  enabled_states : int;  (* states where the guard holds *)
+  firing_states : int;  (* enabled states where the effect is not a no-op *)
+  writes : int list;  (* slots some enabled state's effect changes *)
+  guard_reads : int list;  (* slots the guard's value depends on *)
+  effect_reads : int list;  (* slots the written values depend on *)
+  copy_sources : int list;
+      (* when [writes = [w]]: slots r <> w with effect(s).(w) = s.(r) on
+         every enabled state — the signature of an atomic read step *)
+  invalid_witness : Layout.state option;
+      (* an enabled state whose effect leaves the layout's domains *)
+}
+
+let c_actions = Cr_obs.Obs.counter "lint.rwsets.actions"
+let c_state_evals = Cr_obs.Obs.counter "lint.rwsets.state_evals"
+
+let slots_of_mask mask =
+  let acc = ref [] in
+  Array.iteri (fun i b -> if b then acc := i :: !acc) mask;
+  List.rev !acc
+
+let of_action layout (a : Action.t) : info =
+  Cr_obs.Obs.span "lint.rwsets" @@ fun () ->
+  let nv = Layout.num_vars layout in
+  let ns = Layout.num_states layout in
+  let guard = a.Action.guard and effect = a.Action.effect in
+  (* Pass 1: evaluate every state once; cache guard bits and effect
+     results by rank; collect the exact write set. *)
+  let gcache = Bytes.make ns '\000' in
+  let ecache = Array.make ns [||] in
+  (* [||] marks a disabled state *)
+  let enabled = ref 0 and firing = ref 0 in
+  let wmask = Array.make nv false in
+  let invalid = ref None in
+  for k = 0 to ns - 1 do
+    let s = Layout.unrank layout k in
+    if guard s then begin
+      Bytes.unsafe_set gcache k '\001';
+      incr enabled;
+      let s' = effect s in
+      ecache.(k) <- s';
+      if not (Layout.valid layout s') && !invalid = None then
+        invalid := Some s;
+      let changed = ref (Array.length s' <> nv) in
+      let m = min (Array.length s') nv in
+      for i = 0 to m - 1 do
+        if s'.(i) <> s.(i) then begin
+          wmask.(i) <- true;
+          changed := true
+        end
+      done;
+      if !changed then incr firing
+    end
+  done;
+  Cr_obs.Obs.incr c_actions;
+  Cr_obs.Obs.add c_state_evals ns;
+  let writes = slots_of_mask wmask in
+  (* Copy sources: single-write actions whose written value is a verbatim
+     copy of one other slot on every enabled state. *)
+  let copy_sources =
+    match writes with
+    | [ w ] ->
+        let cand = Array.make nv true in
+        cand.(w) <- false;
+        for k = 0 to ns - 1 do
+          if Bytes.unsafe_get gcache k = '\001' then begin
+            let s = Layout.unrank layout k in
+            let s' = ecache.(k) in
+            if Array.length s' = nv then
+              for r = 0 to nv - 1 do
+                if cand.(r) && s'.(w) <> s.(r) then cand.(r) <- false
+              done
+          end
+        done;
+        slots_of_mask cand
+    | _ -> []
+  in
+  (* Pass 2: finite differencing along slot lines, all from the caches.
+     For effect reads, only the exact write slots can differ between two
+     enabled states (pass 1 makes every other slot a pass-through); the
+     perturbed slot itself counts only when the difference is not two
+     pass-throughs. *)
+  let greads = Array.make nv false and ereads = Array.make nv false in
+  for i = 0 to nv - 1 do
+    let d = Layout.dom layout i in
+    if d > 1 then begin
+      let w = Layout.weight layout i in
+      let lines = ns / (w * d) in
+      let line = ref 0 in
+      while !line < lines && not (greads.(i) && ereads.(i)) do
+        let hi = !line in
+        let lo = ref 0 in
+        while !lo < w && not (greads.(i) && ereads.(i)) do
+          let base = !lo + (w * d * hi) in
+          let g0 = Bytes.unsafe_get gcache base in
+          (if not greads.(i) then
+             let v = ref 1 in
+             while !v < d do
+               if Bytes.unsafe_get gcache (base + (!v * w)) <> g0 then begin
+                 greads.(i) <- true;
+                 v := d
+               end
+               else incr v
+             done);
+          if not ereads.(i) then begin
+            (* pairwise over the enabled states of the line *)
+            let va = ref 0 in
+            while !va < d - 1 && not ereads.(i) do
+              let ka = base + (!va * w) in
+              if Bytes.unsafe_get gcache ka = '\001' then begin
+                let ea = ecache.(ka) in
+                let vb = ref (!va + 1) in
+                while !vb < d && not ereads.(i) do
+                  let kb = base + (!vb * w) in
+                  if Bytes.unsafe_get gcache kb = '\001' then begin
+                    let eb = ecache.(kb) in
+                    if Array.length ea = nv && Array.length eb = nv then
+                      List.iter
+                        (fun k ->
+                          if not ereads.(i) then
+                            if k <> i then begin
+                              if ea.(k) <> eb.(k) then ereads.(i) <- true
+                            end
+                            else if
+                              ea.(i) <> eb.(i)
+                              && not (ea.(i) = !va && eb.(i) = !vb)
+                            then ereads.(i) <- true)
+                        writes
+                  end;
+                  incr vb
+                done
+              end;
+              incr va
+            done
+          end;
+          incr lo
+        done;
+        incr line
+      done
+    end
+  done;
+  {
+    action = a;
+    enabled_states = !enabled;
+    firing_states = !firing;
+    writes;
+    guard_reads = slots_of_mask greads;
+    effect_reads = slots_of_mask ereads;
+    copy_sources;
+    invalid_witness = !invalid;
+  }
+
+let of_program (p : Program.t) : info list =
+  let layout = Program.layout p in
+  List.map (of_action layout) (Program.actions p)
+
+let reads info =
+  List.sort_uniq compare (info.guard_reads @ info.effect_reads)
+
+let pp fmt (layout, info) =
+  let names l =
+    String.concat "," (List.map (Layout.var_name layout) l)
+  in
+  Fmt.pf fmt "%s: writes={%s} guard_reads={%s} effect_reads={%s} enabled=%d firing=%d"
+    (Action.label info.action) (names info.writes) (names info.guard_reads)
+    (names info.effect_reads) info.enabled_states info.firing_states

@@ -29,20 +29,23 @@ let round_robin () =
   let last = ref (-1) in
   let pick _s firings =
     let procs = List.map (fun (a, _) -> Action.proc a) firings in
-    let n = List.length firings in
+    (* cyclic-distance modulus: one past the largest process id in play,
+       so the scheduler is correct for rings of any size *)
+    let m =
+      1 + List.fold_left (fun acc p -> max acc p) (max 0 !last) procs
+    in
     let best = ref 0 in
     let best_key = ref max_int in
     List.iteri
       (fun idx p ->
         (* distance of process p after !last in cyclic order; global
            wrapper actions (proc -1) are considered last *)
-        let key = if p < 0 then max_int - 1 else ((p - !last - 1 + 4096) mod 4096) in
+        let key = if p < 0 then max_int - 1 else (p - !last - 1 + (2 * m)) mod m in
         if key < !best_key then begin
           best_key := key;
           best := idx
         end)
       procs;
-    ignore n;
     let a, _ = List.nth firings !best in
     last := Action.proc a;
     !best
