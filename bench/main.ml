@@ -20,6 +20,12 @@ let hr title = pf "@.======== %s ========@." title
 open Bechamel
 open Toolkit
 
+(* Measurement budget per test.  Sub-microsecond bodies need far more
+   samples before the OLS fit stabilizes (the seed's E2-vm-step row sat
+   at r^2 = 0.34 under the uniform half-second quota), so tests declare
+   which budget they want. *)
+type speed = Normal | Sub_micro
+
 let micro_tests () =
   let n = 3 in
   let btr = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n) in
@@ -32,42 +38,88 @@ let micro_tests () =
   let daemon_seed = ref 0 in
   [
     (* one Test.make per experiment table *)
-    Test.make ~name:"E1-fig1-verdicts"
-      (Staged.stage (fun () -> ignore (Cr_experiments.Fig_exps.run ())));
-    Test.make ~name:"E4-compile-btr-explicit"
-      (Staged.stage (fun () ->
-           ignore (Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n))));
-    Test.make ~name:"E5-lemma7-convergence-check"
-      (Staged.stage (fun () ->
-           ignore
-             (Cr_core.Refine.convergence_refinement ~alpha:alpha4 ~c:c1 ~a:btr ())));
-    Test.make ~name:"E6-thm8-stabilization-check"
-      (Staged.stage (fun () ->
-           ignore (Cr_core.Stabilize.stabilizing_to ~alpha:alpha4 ~c:c1 ~a:btr ())));
-    Test.make ~name:"E8-thm11-stabilization-check"
-      (Staged.stage (fun () ->
-           ignore (Cr_core.Stabilize.stabilizing_to ~alpha:alpha3 ~c:d3 ~a:btr ())));
-    Test.make ~name:"E14-recovery-episode"
-      (Staged.stage (fun () ->
-           incr daemon_seed;
-           let d = Cr_sim.Daemon.random ~seed:!daemon_seed in
-           let rng = Random.State.make [| !daemon_seed |] in
-           let s0 =
-             Cr_fault.Injector.randomize ~rng (Cr_guarded.Program.layout d3_prog)
-           in
-           ignore
-             (Cr_sim.Runner.steps_to
-                ~converged:(Cr_tokenring.Btr3.one_token n)
-                d d3_prog ~start:s0 ~max_steps:10_000)));
-    Test.make ~name:"E2-vm-step"
-      (Staged.stage
-         (let cfg = Cr_vm.Source.machine_config in
-          let s0 = Cr_vm.Machine.initial_state cfg in
-          fun () -> ignore (Cr_vm.Machine.step cfg s0)));
-    Test.make ~name:"E3-bidding-bid"
-      (Staged.stage
-         (let s = Cr_bidding.Spec.of_list ~k:8 [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
-          fun () -> ignore (Cr_bidding.Spec.bid 5 s)));
+    ( Normal,
+      Test.make ~name:"E1-fig1-verdicts"
+        (Staged.stage (fun () -> ignore (Cr_experiments.Fig_exps.run ()))) );
+    (* warm-path compile: after the first iteration this is a cache hit
+       (fingerprint probe + re-target), the common case in the tables *)
+    ( Normal,
+      Test.make ~name:"E4-compile-btr-explicit"
+        (Staged.stage (fun () ->
+             ignore (Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n)))) );
+    (* the same compile with the cache bypassed: the true cold cost *)
+    ( Normal,
+      Test.make ~name:"E4-compile-btr-cold"
+        (Staged.stage (fun () ->
+             Cr_semantics.Compile_cache.bypass (fun () ->
+                 ignore
+                   (Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n))))) );
+    (* guaranteed miss: insert into an emptied cache every iteration *)
+    ( Normal,
+      Test.make ~name:"compile-cache-miss"
+        (Staged.stage (fun () ->
+             Cr_guarded.Program.clear_compile_cache ();
+             ignore (Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n)))) );
+    (* chunked compile on a ring big enough for the fan-out to matter
+       (Dijkstra-3 at N = 7: 2187 states), sequential vs four domains *)
+    ( Normal,
+      Test.make ~name:"compile-seq-dijkstra3-n7"
+        (Staged.stage (fun () ->
+             Cr_semantics.Compile_cache.bypass (fun () ->
+                 ignore
+                   (Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 7))))) );
+    ( Normal,
+      Test.make ~name:"compile-par4-dijkstra3-n7"
+        (Staged.stage (fun () ->
+             Cr_checker.Par.with_jobs 4 (fun () ->
+                 Cr_semantics.Compile_cache.bypass (fun () ->
+                     ignore
+                       (Cr_guarded.Program.to_explicit
+                          (Cr_tokenring.Btr3.dijkstra3 7)))))) );
+    (* warm hit on the same ring: the probe is capped at 256 sampled
+       states, so the hit cost stays flat while the compile grows *)
+    ( Normal,
+      Test.make ~name:"compile-cache-hit-dijkstra3-n7"
+        (Staged.stage (fun () ->
+             ignore
+               (Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 7)))) );
+    ( Normal,
+      Test.make ~name:"E5-lemma7-convergence-check"
+        (Staged.stage (fun () ->
+             ignore
+               (Cr_core.Refine.convergence_refinement ~alpha:alpha4 ~c:c1 ~a:btr ()))) );
+    ( Normal,
+      Test.make ~name:"E6-thm8-stabilization-check"
+        (Staged.stage (fun () ->
+             ignore (Cr_core.Stabilize.stabilizing_to ~alpha:alpha4 ~c:c1 ~a:btr ()))) );
+    ( Normal,
+      Test.make ~name:"E8-thm11-stabilization-check"
+        (Staged.stage (fun () ->
+             ignore (Cr_core.Stabilize.stabilizing_to ~alpha:alpha3 ~c:d3 ~a:btr ()))) );
+    ( Normal,
+      Test.make ~name:"E14-recovery-episode"
+        (Staged.stage (fun () ->
+             incr daemon_seed;
+             let d = Cr_sim.Daemon.random ~seed:!daemon_seed in
+             let rng = Random.State.make [| !daemon_seed |] in
+             let s0 =
+               Cr_fault.Injector.randomize ~rng (Cr_guarded.Program.layout d3_prog)
+             in
+             ignore
+               (Cr_sim.Runner.steps_to
+                  ~converged:(Cr_tokenring.Btr3.one_token n)
+                  d d3_prog ~start:s0 ~max_steps:10_000))) );
+    ( Sub_micro,
+      Test.make ~name:"E2-vm-step"
+        (Staged.stage
+           (let cfg = Cr_vm.Source.machine_config in
+            let s0 = Cr_vm.Machine.initial_state cfg in
+            fun () -> ignore (Cr_vm.Machine.step cfg s0))) );
+    ( Sub_micro,
+      Test.make ~name:"E3-bidding-bid"
+        (Staged.stage
+           (let s = Cr_bidding.Spec.of_list ~k:8 [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+            fun () -> ignore (Cr_bidding.Spec.bid 5 s))) );
   ]
 
 (* Run the micro-benchmarks and return one row per test, sorted by name
@@ -75,14 +127,25 @@ let micro_tests () =
    nondeterministic). *)
 let run_micro () =
   let tests = micro_tests () in
+  (* The table sweep above leaves every compiled system up to N = 7 (and
+     the 117k-state K-state ring) live in the compile cache; with that
+     much live data Bechamel's GC stabilization is so slow that the fast
+     tests burn their whole quota inside it and come back as
+     single-sample (r^2-less) fits.  Drop the cache and compact: the
+     micro tests re-warm the few small entries they need. *)
+  Cr_guarded.Program.clear_compile_cache ();
+  Gc.compact ();
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg_normal = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  (* sub-µs bodies: 10x the sample cap and 6x the time budget *)
+  let cfg_sub = Benchmark.cfg ~limit:20000 ~quota:(Time.second 3.0) ~kde:None () in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let rows = ref [] in
   List.iter
-    (fun test ->
+    (fun (speed, test) ->
+      let cfg = match speed with Normal -> cfg_normal | Sub_micro -> cfg_sub in
       let results = Benchmark.all cfg [ instance ] test in
       let analysis = Analyze.all ols instance results in
       Hashtbl.iter
@@ -97,16 +160,25 @@ let run_micro () =
     tests;
   List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
 
+(* A fit this poor means the ns/run column is noise-dominated; the row is
+   kept but marked, in the table and in the JSON artifact. *)
+let low_r2 = function
+  | Some r2 when Float.is_finite r2 -> r2 < 0.9
+  | Some _ | None -> true
+
 let print_micro rows =
   hr "Checker micro-benchmarks (Bechamel, monotonic clock)";
   pf "%-32s %-16s %s@." "benchmark" "ns/run" "r^2";
   List.iter
     (fun (name, est, r2) ->
       let fmt_opt f = function Some v -> Fmt.str f v | None -> "-" in
-      pf "%-32s %-16s %s@." name
+      pf "%-32s %-16s %s%s@." name
         (fmt_opt "%.1f" est)
-        (fmt_opt "%.4f" r2))
-    rows
+        (fmt_opt "%.4f" r2)
+        (if low_r2 r2 then "  (*)" else ""))
+    rows;
+  if List.exists (fun (_, _, r2) -> low_r2 r2) rows then
+    pf "(*) r^2 < 0.9: OLS fit is noise-dominated; read ns/run with care@."
 
 (* ---------- per-N wall-clock of the full table sweep ---------- *)
 
@@ -176,10 +248,12 @@ let write_json path micro report_wall =
   List.iteri
     (fun i (name, est, r2) ->
       Buffer.add_string buf
-        (Printf.sprintf "    {\"name\": %S, \"ns_per_run\": %s, \"r2\": %s}%s\n"
+        (Printf.sprintf
+           "    {\"name\": %S, \"ns_per_run\": %s, \"r2\": %s, \"low_r2\": %b}%s\n"
            name
            (json_of_float_opt est)
            (json_of_float_opt r2)
+           (low_r2 r2)
            (if i = List.length micro - 1 then "" else ",")))
     micro;
   Buffer.add_string buf "  ],\n  \"report_all_wall_s\": [\n";
@@ -225,7 +299,9 @@ let parse_json_path argv =
 let () =
   let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
   let json_path = parse_json_path Sys.argv in
-  Cr_experiments.Report.all ~ns:[ 2; 3; 4; 5 ] ~ns_direct:[ 2; 3; 4; 5; 6 ] ();
+  Cr_experiments.Report.all ~ns:[ 2; 3; 4; 5 ]
+    ~ns_direct:[ 2; 3; 4; 5; 6; 7 ]
+    ~ns_kstate:[ 2; 3; 4; 5; 6 ] ();
   let micro = if skip_micro then [] else run_micro () in
   if not skip_micro then print_micro micro;
   (match json_path with

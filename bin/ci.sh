@@ -22,4 +22,25 @@ dune exec bin/crcheck.exe -- lint --all --json "$lintjson" > /dev/null
 test -s "$lintjson" || { echo "ci: lint --json produced no output" >&2; exit 1; }
 dune exec bin/trace_lint.exe -- --json-only "$lintjson"
 
+# Compile-cache smoke: verifying btr compiles the program and its spec,
+# which are the same system, so the chunked+memoized compiler must report
+# at least one cache hit in the CR_STATS summary.  btr itself is the
+# fault-INtolerant abstract ring, so verify may exit 1 — only a crash or
+# a usage error (exit > 1) fails the gate.
+cachelog=$(mktemp /tmp/cr.cache.XXXXXX)
+trap 'rm -f "$trace" "$lintjson" "$cachelog"' EXIT
+rc=0
+CR_JOBS=2 CR_STATS=1 dune exec bin/crcheck.exe -- verify btr --stats \
+  > /dev/null 2> "$cachelog" || rc=$?
+[ "$rc" -le 1 ] || { echo "ci: verify btr crashed (rc=$rc)" >&2; cat "$cachelog" >&2; exit 1; }
+hits=$(sed -n 's/^ *compile\.cache\.hits *\([0-9][0-9]*\)$/\1/p' "$cachelog")
+[ -n "$hits" ] && [ "$hits" -ge 1 ] || {
+  echo "ci: expected nonzero compile.cache.hits in CR_STATS summary" >&2
+  cat "$cachelog" >&2
+  exit 1
+}
+
+# The committed benchmark artifact must stay well-formed JSON.
+dune exec bin/trace_lint.exe -- --json-only BENCH_PR4.json
+
 echo "ci: OK"

@@ -65,10 +65,8 @@ let verify name n stats =
   if stats then Cr_obs.Obs.force_enable ();
   with_entry name (fun e ->
       let p = e.Cr_experiments.Registry.program n in
-      let ep = Cr_guarded.Program.to_explicit p in
-      let spec =
-        Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.spec n)
-      in
+      let ep = Cr_experiments.Registry.explicit e n in
+      let spec = Cr_experiments.Registry.spec_explicit e n in
       let alpha =
         Cr_semantics.Abstraction.tabulate
           (e.Cr_experiments.Registry.alpha n)
@@ -109,10 +107,8 @@ let verify_cmd =
 let refine name n stats =
   if stats then Cr_obs.Obs.force_enable ();
   with_entry name (fun e ->
-      let ep = Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.program n) in
-      let spec =
-        Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.spec n)
-      in
+      let ep = Cr_experiments.Registry.explicit e n in
+      let spec = Cr_experiments.Registry.spec_explicit e n in
       let alpha =
         Cr_semantics.Abstraction.tabulate
           (e.Cr_experiments.Registry.alpha n)
@@ -236,10 +232,8 @@ let kstate_cmd =
 
 let dot name n output =
   with_entry name (fun e ->
-      let ep = Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.program n) in
-      let spec =
-        Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.spec n)
-      in
+      let ep = Cr_experiments.Registry.explicit e n in
+      let spec = Cr_experiments.Registry.spec_explicit e n in
       let alpha =
         Cr_semantics.Abstraction.tabulate
           (e.Cr_experiments.Registry.alpha n)
@@ -276,9 +270,7 @@ let dot_cmd =
 let spans name n =
   with_entry name (fun e ->
       let p = e.Cr_experiments.Registry.program n in
-      let spec =
-        Cr_guarded.Program.to_explicit (e.Cr_experiments.Registry.spec n)
-      in
+      let spec = Cr_experiments.Registry.spec_explicit e n in
       match
         Cr_fault.Spans.analyze p ~spec
           ~abstraction:(e.Cr_experiments.Registry.alpha n)

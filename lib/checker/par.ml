@@ -1,55 +1,7 @@
-(* Deterministic multicore fan-out for embarrassingly parallel sweeps.
+(* The fan-out implementation moved to [Cr_semantics.Par] so the
+   explicit-state compiler (which cr_checker depends on) can chunk its
+   state space across domains.  This alias keeps the historical
+   [Cr_checker.Par] call sites and shares the same nested-region and
+   override state. *)
 
-   Work is partitioned by stride: domain d computes items d, d + jobs,
-   d + 2*jobs, ...  Results land in a preallocated array slot per item, so
-   the merged output is independent of scheduling — running with any
-   number of jobs yields exactly the list [List.map f xs] would.
-
-   The job count comes from the [CR_JOBS] environment variable and
-   defaults to 1, in which case no domain is spawned at all and the code
-   path is the plain sequential map (output byte-identical to the
-   pre-multicore checker).  Callers may force a count with [?jobs]. *)
-
-let jobs_env () =
-  match Sys.getenv_opt "CR_JOBS" with
-  | None -> 1
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some 0 -> Domain.recommended_domain_count ()
-      | Some k when k >= 1 -> k
-      | Some _ | None -> 1)
-
-(* Nested calls (a parallel table row that itself sweeps Monte-Carlo
-   episodes) run sequentially: the outer fan-out already occupies the
-   cores, and spawning fresh domains per inner call costs more than the
-   inner parallelism buys at these problem sizes. *)
-let inside : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
-
-let map_array ?jobs (f : 'a -> 'b) (a : 'a array) : 'b array =
-  let jobs =
-    match jobs with Some k -> max 1 k | None -> jobs_env ()
-  in
-  let n = Array.length a in
-  if jobs <= 1 || n <= 1 || Domain.DLS.get inside then Array.map f a
-  else begin
-    let jobs = min jobs n in
-    let out = Array.make n None in
-    let worker d () =
-      Domain.DLS.set inside true;
-      let i = ref d in
-      while !i < n do
-        out.(!i) <- Some (f a.(!i));
-        i := !i + jobs
-      done;
-      Domain.DLS.set inside false
-    in
-    (* Strides are disjoint, so each slot of [out] has a unique writer. *)
-    let domains =
-      List.init (jobs - 1) (fun d -> Domain.spawn (worker (d + 1)))
-    in
-    worker 0 ();
-    List.iter Domain.join domains;
-    Array.map (function Some x -> x | None -> assert false) out
-  end
-
-let map ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))
+include Cr_semantics.Par

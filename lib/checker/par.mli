@@ -1,16 +1,20 @@
 (** Deterministic [Domain.spawn] fan-out for independent work items.
 
-    Items are partitioned by stride across domains and merged back by
-    index, so the result equals the sequential map regardless of the job
-    count or scheduling.  The job count defaults to the [CR_JOBS]
-    environment variable (default 1 — fully sequential, no domain is
-    spawned; 0 means [Domain.recommended_domain_count ()]).  Nested calls
-    from inside a parallel region run sequentially: the outer fan-out
-    already occupies the cores. *)
+    Alias of {!Cr_semantics.Par} (the implementation moved there so the
+    explicit-state compiler can use it); see that module for the full
+    contract.  The [CR_JOBS] default is 1 — fully sequential, no domain
+    spawned, output byte-identical to the sequential map. *)
 
 val jobs_env : unit -> int
-(** Parsed value of [CR_JOBS]; 1 when unset or unparseable, the
-    recommended domain count when set to 0. *)
+(** Parsed value of [CR_JOBS]; 1 when unset, the recommended domain
+    count when set to 0.  Malformed or negative values fall back to 1
+    with a once-per-process stderr warning. *)
+
+val current_jobs : unit -> int
+(** Effective job count right now (1 inside a parallel region). *)
+
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** Run with the job count forced in this domain (tests/benchmarks). *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs = List.map f xs], computed on [jobs] domains.  [f] must not

@@ -150,3 +150,12 @@ let entries : entry list =
 let find name = List.find_opt (fun e -> e.name = name) entries
 
 let names () = List.map (fun e -> e.name) entries
+
+(* Compile an entry (or its spec) at size n.  These go through
+   [Program.to_explicit] and therefore the process-wide compile cache:
+   a driver that compiles the same registry system at the same size
+   twice — e.g. crcheck verify, whose btr spec IS the btr program —
+   pays for one compile. *)
+let explicit e n = Program.to_explicit (e.program n)
+
+let spec_explicit e n = Program.to_explicit (e.spec n)

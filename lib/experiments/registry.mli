@@ -19,3 +19,10 @@ type entry = {
 val entries : entry list
 val find : string -> entry option
 val names : unit -> string list
+
+val explicit : entry -> int -> Layout.state Cr_semantics.Explicit.t
+(** The entry's program at ring size [n], compiled through
+    {!Program.to_explicit} (and thus the process-wide compile cache). *)
+
+val spec_explicit : entry -> int -> Layout.state Cr_semantics.Explicit.t
+(** Same for the entry's specification. *)

@@ -374,8 +374,9 @@ let print_appendix appendix =
    each table also reports its wall time and counter movement in a cost
    appendix; with CR_TRACE set, each table is one [report.*] span in the
    exported trace. *)
-let all ?(ns = [ 2; 3; 4 ]) ?ns_direct () =
+let all ?(ns = [ 2; 3; 4 ]) ?ns_direct ?ns_kstate () =
   let ns_direct = Option.value ~default:ns ns_direct in
+  let ns_kstate = Option.value ~default:ns ns_kstate in
   pf "Convergence Refinement — experiment tables (paper: Demirbas & Arora, \
       ICDCS 2002)@.";
   let appendix = ref [] in
@@ -419,7 +420,7 @@ let all ?(ns = [ 2; 3; 4 ]) ?ns_direct () =
       wrapped_table "E9  Theorem 13: (C3 [] W1'' [] W2') stabilizing to BTR"
         Ring_exps.theorem13 ns);
   t "E10" (fun () -> table_rewriting ns);
-  t "E11" (fun () -> table_kstate ns);
+  t "E11" (fun () -> table_kstate ns_kstate);
   t "E12" table_compression;
   t "E13" table_stutter;
   t "E14" (fun () -> table_cost ns);

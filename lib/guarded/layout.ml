@@ -82,6 +82,25 @@ let unrank t k =
 (* Enumerate all states in mixed-radix order (slot 0 fastest). *)
 let enumerate t = List.init (num_states t) (unrank t)
 
+(* Fused validity test + rank: [-1] when the state is outside the
+   layout.  One pass, no allocation — the innermost operation of the
+   explicit compiler, which ranks every successor of every state. *)
+let checked_rank t (s : state) =
+  let n = Array.length t.vars in
+  if Array.length s <> n then -1
+  else begin
+    let k = ref 0 in
+    let ok = ref true in
+    let i = ref (n - 1) in
+    while !ok && !i >= 0 do
+      let d = (Array.unsafe_get t.vars !i).dom in
+      let v = Array.unsafe_get s !i in
+      if v < 0 || v >= d then ok := false else k := (!k * d) + v;
+      decr i
+    done;
+    if !ok then !k else -1
+  end
+
 let valid t (s : state) =
   Array.length s = num_vars t
   &&

@@ -31,6 +31,11 @@ val rank : t -> state -> int
 val unrank : t -> int -> state
 (** Inverse of {!rank}: the state at a given index. *)
 
+val checked_rank : t -> state -> int
+(** {!valid} and {!rank} fused into one allocation-free pass: the rank
+    of a valid state, [-1] otherwise.  The hot path of the explicit
+    compiler. *)
+
 val weight : t -> int -> int
 (** Mixed-radix digit weight of a slot: the rank stride between two
     states differing by exactly one in that slot.  Supports slot-line

@@ -82,20 +82,6 @@ let to_system ?priority_of t =
     ~pp:(Layout.pp_state t.layout)
     ()
 
-(* Compile straight to the explicit graph through the layout's mixed-radix
-   rank/unrank — O(num_vars) arithmetic indexing per state, no hashtable. *)
-let explicit_of_step ~name ~layout ~step ~initial =
-  Cr_semantics.Explicit.of_indexed ~name
-    ~num_states:(Layout.num_states layout)
-    ~state:(Layout.unrank layout)
-    ~index:(fun s -> if Layout.valid layout s then Some (Layout.rank layout s) else None)
-    ~step ~is_initial:initial
-    ~pp_state:(Layout.pp_state layout)
-
-let to_explicit ?priority_of t =
-  explicit_of_step ~name:t.name ~layout:t.layout
-    ~step:(step_fn ?priority_of t) ~initial:t.initial
-
 (* Box with wrapper priority, compiled directly to a system: wrapper
    actions preempt the base program's actions. *)
 let box_priority ?name base wrapper =
@@ -150,11 +136,269 @@ let to_system_synchronous t =
     ~pp:(Layout.pp_state t.layout)
     ()
 
-let to_explicit_synchronous t =
-  explicit_of_step ~name:(t.name ^ "[sync]") ~layout:t.layout
-    ~step:(fun s ->
-      match synchronous_step t s with None -> [] | Some s' -> [ s' ])
-    ~initial:t.initial
+(* ------------------------------------------------------------------ *)
+(* Explicit compilation: allocation-lean, domain-chunked, memoized.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Execution modes a program compiles under.  [Priority bits] carries,
+   per action (in list order), whether it is a preempting wrapper
+   action. *)
+type mode = Plain | Priority of bool array | Sync
+
+let mode_name ~mode t =
+  match mode with Sync -> t.name ^ "[sync]" | Plain | Priority _ -> t.name
+
+let escape_error ~name ~layout s' =
+  Cr_semantics.Explicit.Unknown_state
+    (Fmt.str "%s: step produced a state outside Sigma: %a" name
+       (Layout.pp_state layout) s')
+
+(* Rank a successor, raising exactly like the generic compiler would on
+   a step that escapes Sigma. *)
+let rank_checked ~name layout s' =
+  let j = Layout.checked_rank layout s' in
+  if j >= 0 then j else raise (escape_error ~name ~layout s')
+
+(* Sort the first [k] slots of [buf] in place (insertion sort — rows are
+   at most num-actions long) and return them deduplicated as a fresh
+   row. *)
+let sorted_row_of_prefix buf k =
+  if k = 0 then [||]
+  else begin
+    for i = 1 to k - 1 do
+      let x = buf.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && buf.(!j) > x do
+        buf.(!j + 1) <- buf.(!j);
+        decr j
+      done;
+      buf.(!j + 1) <- x
+    done;
+    let m = ref 1 in
+    for i = 1 to k - 1 do
+      if buf.(i) <> buf.(i - 1) then incr m
+    done;
+    let out = Array.make !m buf.(0) in
+    let w = ref 1 in
+    for i = 1 to k - 1 do
+      if buf.(i) <> buf.(i - 1) then begin
+        out.(!w) <- buf.(i);
+        incr w
+      end
+    done;
+    out
+  end
+
+(* Interleaving rows: iterate the actions directly — guard test, effect,
+   immediate rank — with no (action, successor) pair lists.  [rank] is
+   injective on valid states, so "successor rank = own rank" is exactly
+   the no-op test of [Action.fire]. *)
+let plain_rows ~name layout (actions : Action.t array) state_of () =
+  let buf = Array.make (max 1 (Array.length actions)) 0 in
+  fun i ->
+    let s = state_of i in
+    let k = ref 0 in
+    Array.iter
+      (fun (a : Action.t) ->
+        if a.Action.guard s then begin
+          let j = rank_checked ~name layout (a.Action.effect s) in
+          if j <> i then begin
+            buf.(!k) <- j;
+            incr k
+          end
+        end)
+      actions;
+    sorted_row_of_prefix buf !k
+
+(* Priority rows: wrapper firings preempt base firings.  A wrapper
+   action whose effect is a no-op does not count as a wrapper move
+   (matching [firings], which drops no-ops before the preemption
+   test). *)
+let priority_rows ~name layout (actions : Action.t array)
+    (is_wrapper : bool array) state_of () =
+  let n = max 1 (Array.length actions) in
+  let wbuf = Array.make n 0 in
+  let bbuf = Array.make n 0 in
+  fun i ->
+    let s = state_of i in
+    let wk = ref 0 and bk = ref 0 in
+    Array.iteri
+      (fun ai (a : Action.t) ->
+        if a.Action.guard s then begin
+          let j = rank_checked ~name layout (a.Action.effect s) in
+          if j <> i then
+            if is_wrapper.(ai) then begin
+              wbuf.(!wk) <- j;
+              incr wk
+            end
+            else begin
+              bbuf.(!bk) <- j;
+              incr bk
+            end
+        end)
+      actions;
+    if !wk > 0 then sorted_row_of_prefix wbuf !wk
+    else sorted_row_of_prefix bbuf !bk
+
+(* Synchronous rows are 0- or 1-element: the daemon is deterministic. *)
+let sync_rows ~name layout t state_of () i =
+  match synchronous_step t (state_of i) with
+  | None -> [||]
+  | Some s' ->
+      let j = rank_checked ~name layout s' in
+      if j = i then [||] else [| j |]
+
+(* A per-chunk row-builder factory for the mode, over any index-to-state
+   view (an enumeration array during compiles, bare [unrank] during
+   fingerprint probes). *)
+let row_builder ~mode t state_of =
+  let layout = t.layout in
+  let name = mode_name ~mode t in
+  match mode with
+  | Plain -> plain_rows ~name layout (Array.of_list t.actions) state_of
+  | Priority bits ->
+      priority_rows ~name layout (Array.of_list t.actions) bits state_of
+  | Sync -> sync_rows ~name layout t state_of
+
+let compile_fresh ~mode t =
+  let layout = t.layout in
+  let name = mode_name ~mode t in
+  let states = Array.init (Layout.num_states layout) (Layout.unrank layout) in
+  let rows = row_builder ~mode t (fun i -> states.(i)) in
+  Cr_semantics.Explicit.of_rows ~name ~states
+    ~index:(fun s ->
+      if Layout.valid layout s then Some (Layout.rank layout s) else None)
+    ~rows ~is_initial:t.initial
+    ~pp_state:(Layout.pp_state layout)
+
+(* How many states the semantic fingerprint probe samples.  Systems at
+   most this big are keyed by their complete transition semantics
+   (collision-free); larger ones by an evenly spread sample plus the
+   structural part below. *)
+let probe_budget = 256
+
+(* Two independent FNV-1a-style folds over native ints: 126 bits of
+   accumulated probe state, no allocation per step.  Native-int
+   multiplication wraps silently, which is exactly what a rolling hash
+   wants. *)
+let fnv1 = 0x100000001b3
+let fnv2 = 0x27d4eb2f165667c5
+
+(* Semantic probe: fold the complete firing observations — per sampled
+   state, per action in order, the successor's rank (or a disabled
+   marker) — of up to [probe_budget] evenly spread states (every state
+   when the space is that small).  The raw firing sequence determines
+   the compiled graph for the plain AND priority modes (the wrapper bits
+   live in the structural header), so one probe serves both; the
+   synchronous mode folds its deterministic step instead.  Escaping
+   steps raise [Unknown_state] exactly like the compile, so a hit and a
+   miss fail identically on ill-formed programs. *)
+let probe ~mode t =
+  let layout = t.layout in
+  let n = Layout.num_states layout in
+  let budget = min n probe_budget in
+  let name = mode_name ~mode t in
+  let h1 = ref 0x3bf29ce484222325 and h2 = ref 0x1e3779b97f4a7c15 in
+  let fold x =
+    h1 := (!h1 lxor x) * fnv1;
+    h2 := (!h2 lxor x) * fnv2
+  in
+  (match mode with
+  | Sync ->
+      for k = 0 to budget - 1 do
+        let i = k * n / budget in
+        fold i;
+        match synchronous_step t (Layout.unrank layout i) with
+        | None -> fold (-2)
+        | Some s' -> fold (rank_checked ~name layout s')
+      done
+  | Plain | Priority _ ->
+      let actions = Array.of_list t.actions in
+      for k = 0 to budget - 1 do
+        let i = k * n / budget in
+        let s = Layout.unrank layout i in
+        fold i;
+        Array.iter
+          (fun (a : Action.t) ->
+            if a.Action.guard s then
+              fold (rank_checked ~name layout (a.Action.effect s))
+            else fold (-1))
+          actions
+      done);
+  (!h1, !h2)
+
+(* Content-addressed cache key: execution mode, layout (variable names
+   and domain sizes), per-action metadata (label, owning process,
+   declared writes, wrapper bit) — plus the semantic {!probe}, which is
+   what separates programs whose actions carry identical labels but
+   different guards or effects.  The initial-state predicate is
+   deliberately NOT part of the key: a cached graph is re-targeted via
+   [Explicit.with_initials] on every hit.  (The probe is a 126-bit
+   rolling hash, not the exact rows; CR_COMPILE_PARANOID=1 turns every
+   hit into a checked recompile for the paranoid.) *)
+let fingerprint ~mode t =
+  let layout = t.layout in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (match mode with
+    | Plain -> "plain"
+    | Priority _ -> "priority"
+    | Sync -> "sync");
+  for i = 0 to Layout.num_vars layout - 1 do
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (Layout.var_name layout i);
+    Buffer.add_char buf ':';
+    Buffer.add_string buf (string_of_int (Layout.dom layout i))
+  done;
+  List.iteri
+    (fun i a ->
+      Buffer.add_string buf
+        (Printf.sprintf "|%s;%d;%s%s" (Action.label a) (Action.proc a)
+           (String.concat "," (List.map string_of_int (Action.writes a)))
+           (match mode with
+           | Priority bits when bits.(i) -> ";W"
+           | _ -> "")))
+    t.actions;
+  let p1, p2 = probe ~mode t in
+  Buffer.add_string buf (Printf.sprintf "|%x.%x" p1 p2);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let compile_fingerprint ?priority_of t =
+  let mode =
+    match priority_of with
+    | None -> Plain
+    | Some is_wrapper ->
+        Priority (Array.of_list (List.map is_wrapper t.actions))
+  in
+  fingerprint ~mode t
+
+let compile_cache : Layout.state Cr_semantics.Compile_cache.t =
+  Cr_semantics.Compile_cache.create ()
+
+let clear_compile_cache () = Cr_semantics.Compile_cache.clear compile_cache
+
+let compile ~mode t =
+  let compile = fun () -> compile_fresh ~mode t in
+  if not (Cr_semantics.Compile_cache.enabled ()) then compile ()
+  else
+    Cr_semantics.Compile_cache.find_or_compile compile_cache
+      ~key:(fingerprint ~mode t)
+      ~reinit:(fun e ->
+        Cr_semantics.Explicit.with_initials
+          (Cr_semantics.Explicit.rename (mode_name ~mode t) e)
+          t.initial)
+      ~compile
+
+let to_explicit ?priority_of t =
+  let mode =
+    match priority_of with
+    | None -> Plain
+    | Some is_wrapper ->
+        Priority (Array.of_list (List.map is_wrapper t.actions))
+  in
+  compile ~mode t
+
+let to_explicit_synchronous t = compile ~mode:Sync t
 
 (* Reachability closure at the program level, used to define the initial
    states of concrete systems as the orbit of canonical legitimate

@@ -56,6 +56,27 @@ val to_system :
 
 val to_explicit :
   ?priority_of:(Action.t -> bool) -> t -> state Cr_semantics.Explicit.t
+(** Compile straight to the explicit graph through the layout's
+    mixed-radix rank/unrank.  The per-state loop iterates actions
+    directly (guard, effect, rank) with no intermediate firing lists,
+    and is domain-chunked under the [CR_JOBS] contract of
+    {!Cr_checker.Par} — identical output for every job count.
+
+    Compiles are memoized in a process-wide
+    {!Cr_semantics.Compile_cache} keyed by a content-addressed
+    fingerprint (execution mode, layout, per-action metadata, and a
+    semantic successor probe over up to 256 evenly spread states); on a
+    hit the cached graph is re-targeted to this program's name and
+    initial predicate.  [CR_COMPILE_CACHE=0] disables the cache. *)
+
+val compile_fingerprint : ?priority_of:(Action.t -> bool) -> t -> string
+(** The content-addressed cache key {!to_explicit} would use for this
+    program (diagnostics and tests): a digest of the execution mode,
+    layout, action metadata and the semantic successor probe. *)
+
+val clear_compile_cache : unit -> unit
+(** Empty the process-wide compile cache (tests and benchmarks that need
+    cold-compile behaviour or counter isolation). *)
 
 val synchronous_step : t -> state -> state option
 (** One synchronous (distributed-daemon) step: every process with an
@@ -66,6 +87,9 @@ val to_system_synchronous : t -> state Cr_semantics.System.t
 (** The (deterministic) synchronous semantics as a system. *)
 
 val to_explicit_synchronous : t -> state Cr_semantics.Explicit.t
+(** Explicit graph of the synchronous semantics; chunked and memoized
+    like {!to_explicit} (the cache key's mode tag keeps the two
+    semantics of one program distinct). *)
 
 val reachable_from : t -> state list -> (state, unit) Hashtbl.t
 (** All states reachable from the seeds under the program's transitions. *)

@@ -1,0 +1,122 @@
+(* Content-addressed memoization of explicit-state compiles.
+
+   Keys are structural fingerprints computed by the caller (for
+   guarded-command programs: layout, action metadata, execution mode and
+   a semantic successor probe — see [Cr_guarded.Program]); values are
+   whole [Explicit.t] graphs.  The caller re-targets a cached graph to
+   the requesting program's name and initial predicate via [reinit], so
+   programs that differ only in initial states still share one compile.
+
+   Concurrency: lookups are single-flight.  A domain that misses
+   publishes an in-flight marker, compiles outside the lock, then
+   broadcasts; concurrent requesters of the same key block until the
+   value lands and count a hit.  Hit/miss totals are therefore exactly
+   those of the sequential schedule — the CR_JOBS counter-invariance of
+   [Cr_obs] extends to the cache.
+
+   [CR_COMPILE_CACHE=0] disables the cache (every call compiles);
+   [CR_COMPILE_PARANOID=1] recompiles on every hit and asserts the
+   cached graph is [same_transitions] with — and reaches the same
+   initial states as — the fresh compile. *)
+
+let c_hits = Cr_obs.Obs.counter "compile.cache.hits"
+let c_misses = Cr_obs.Obs.counter "compile.cache.misses"
+
+type 'a slot = Inflight | Done of 'a Explicit.t
+
+type 'a t = {
+  m : Mutex.t;
+  cv : Condition.t;
+  tbl : (string, 'a slot) Hashtbl.t;
+}
+
+let create () =
+  { m = Mutex.create (); cv = Condition.create (); tbl = Hashtbl.create 64 }
+
+(* Per-domain bypass, for benchmarks/tests that need a guaranteed fresh
+   compile without touching the process environment. *)
+let bypassed : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let bypass f =
+  let saved = Domain.DLS.get bypassed in
+  Domain.DLS.set bypassed true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set bypassed saved) f
+
+let enabled () =
+  (not (Domain.DLS.get bypassed))
+  &&
+  match Sys.getenv_opt "CR_COMPILE_CACHE" with
+  | Some s when String.trim s = "0" -> false
+  | _ -> true
+
+let paranoid () =
+  match Sys.getenv_opt "CR_COMPILE_PARANOID" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let length c = Mutex.protect c.m (fun () -> Hashtbl.length c.tbl)
+
+let clear c =
+  Mutex.protect c.m (fun () ->
+      (* never drop an in-flight marker: its compiler will publish into
+         the (now smaller) table and broadcast as usual *)
+      let keep =
+        Hashtbl.fold
+          (fun k v acc -> match v with Inflight -> (k, v) :: acc | Done _ -> acc)
+          c.tbl []
+      in
+      Hashtbl.reset c.tbl;
+      List.iter (fun (k, v) -> Hashtbl.add c.tbl k v) keep)
+
+let check_paranoid ~key ~compile cached =
+  let fresh = compile () in
+  if not (Explicit.same_transitions fresh cached) then
+    invalid_arg
+      (Printf.sprintf
+         "Compile_cache: paranoid mode: cached transitions differ from a \
+          fresh compile (key %s)"
+         key);
+  if Explicit.initials fresh <> Explicit.initials cached then
+    invalid_arg
+      (Printf.sprintf
+         "Compile_cache: paranoid mode: cached initial states differ from a \
+          fresh compile (key %s)"
+         key)
+
+let find_or_compile c ~key ~reinit ~compile =
+  if not (enabled ()) then compile ()
+  else begin
+    Mutex.lock c.m;
+    let rec lookup () =
+      match Hashtbl.find_opt c.tbl key with
+      | Some (Done v) -> `Hit v
+      | Some Inflight ->
+          Condition.wait c.cv c.m;
+          lookup ()
+      | None ->
+          Hashtbl.add c.tbl key Inflight;
+          `Miss
+    in
+    match lookup () with
+    | `Hit v ->
+        Mutex.unlock c.m;
+        Cr_obs.Obs.incr c_hits;
+        let out = reinit v in
+        if paranoid () then check_paranoid ~key ~compile out;
+        out
+    | `Miss -> (
+        Mutex.unlock c.m;
+        Cr_obs.Obs.incr c_misses;
+        match compile () with
+        | v ->
+            Mutex.protect c.m (fun () ->
+                Hashtbl.replace c.tbl key (Done v);
+                Condition.broadcast c.cv);
+            v
+        | exception e ->
+            (* let waiters retry (and re-raise for themselves) *)
+            Mutex.protect c.m (fun () ->
+                Hashtbl.remove c.tbl key;
+                Condition.broadcast c.cv);
+            raise e)
+  end

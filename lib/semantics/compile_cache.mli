@@ -1,0 +1,53 @@
+(** Content-addressed memoization of explicit-state compiles.
+
+    A cache maps structural fingerprints (computed by the caller; for
+    guarded-command programs the key covers the layout, per-action
+    metadata, execution mode and a semantic successor probe) to compiled
+    {!Explicit.t} graphs, so experiment tables that recompile the same
+    system at the same size share one compile.
+
+    Lookups are single-flight across domains: concurrent requesters of a
+    missing key block while one domain compiles, then count a hit — so
+    the [compile.cache.hits]/[compile.cache.misses] counters are
+    invariant under the [CR_JOBS] fan-out, like every other [Cr_obs]
+    counter.
+
+    Environment switches: [CR_COMPILE_CACHE=0] disables caching
+    entirely; [CR_COMPILE_PARANOID=1] (a test mode) recompiles on every
+    hit and asserts {!Explicit.same_transitions} plus equal initial
+    states against the cached graph. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val enabled : unit -> bool
+(** Is the cache active?  False when [CR_COMPILE_CACHE=0] or inside
+    {!bypass}. *)
+
+val paranoid : unit -> bool
+(** Is [CR_COMPILE_PARANOID] set to a truthy value? *)
+
+val bypass : (unit -> 'b) -> 'b
+(** Run with the cache disabled in the calling domain (benchmarks and
+    tests that need a guaranteed fresh compile). *)
+
+val find_or_compile :
+  'a t ->
+  key:string ->
+  reinit:('a Explicit.t -> 'a Explicit.t) ->
+  compile:(unit -> 'a Explicit.t) ->
+  'a Explicit.t
+(** [find_or_compile c ~key ~reinit ~compile] returns the cached graph
+    for [key] after re-targeting it with [reinit] (rename + initial
+    states — the only parts of a compile the fingerprint does not
+    cover), or runs [compile], stores its result and returns it.
+    [reinit] must preserve the transition structure.  If [compile]
+    raises, the error propagates and nothing is cached. *)
+
+val length : _ t -> int
+(** Number of cached compiles (test support). *)
+
+val clear : _ t -> unit
+(** Drop every completed entry (test/bench support; in-flight compiles
+    publish normally). *)

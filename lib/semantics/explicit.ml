@@ -6,7 +6,19 @@
    Indexing is a function, not a table: systems whose state space has
    arithmetic structure (e.g. guarded-command layouts with mixed-radix
    ranks) plug in an O(1) index with no hashing; generic enumerations fall
-   back to a hashtable built once at construction. *)
+   back to a hashtable built once at construction.
+
+   Compilation is domain-chunked: the state range is split into [jobs]
+   contiguous chunks (the CR_JOBS contract of [Par], default 1 = the
+   sequential path) and each domain fills its slice of a preallocated
+   row array.  Row i is computed independently of every other row, so
+   the merged result is identical for any job count.
+
+   Predecessor rows are lazy: [transpose] runs on the first
+   [predecessors]/backward use, because the refinement checkers never
+   look at predecessors.  The thunk is an [Atomic]: if two domains race
+   on the first force, both compute the same deterministic transpose and
+   one of the identical results wins — no lock, no [Lazy.Undefined]. *)
 
 exception Unknown_state of string
 
@@ -18,12 +30,14 @@ let c_states = Cr_obs.Obs.counter "explicit.states"
 let c_transitions = Cr_obs.Obs.counter "explicit.transitions"
 let c_largest = Cr_obs.Obs.counter ~kind:Cr_obs.Obs.Max "explicit.largest"
 
+type pred = Pred_todo | Pred of int array array
+
 type 'a t = {
   name : string;
   states : 'a array;
   index : 'a -> int option;  (* inverse of [states.(_)] *)
   succ : int array array;  (* each row sorted ascending, deduplicated *)
-  pred : int array array;
+  pred : pred Atomic.t;  (* transposed from [succ] on first use *)
   is_initial : bool array;
   initials : int array;
   pp_state : Format.formatter -> 'a -> unit;
@@ -49,8 +63,6 @@ let find t s =
   | None -> raise (Unknown_state t.name)
 
 let successors t i = t.succ.(i)
-
-let predecessors t i = t.pred.(i)
 
 let is_initial t i = t.is_initial.(i)
 
@@ -121,6 +133,24 @@ let transpose n succ =
     succ;
   preds
 
+let lazy_pred () = Atomic.make Pred_todo
+
+(* No counter or span in here: a benign cross-domain race may compute the
+   transpose twice (both results identical), and telemetry totals must
+   stay CR_JOBS-invariant. *)
+let force_pred t =
+  match Atomic.get t.pred with
+  | Pred p -> p
+  | Pred_todo ->
+      let p = transpose (Array.length t.states) t.succ in
+      if Atomic.compare_and_set t.pred Pred_todo (Pred p) then p
+      else ( match Atomic.get t.pred with Pred p -> p | Pred_todo -> p)
+
+let predecessors t i = (force_pred t).(i)
+
+let pred_forced t =
+  match Atomic.get t.pred with Pred _ -> true | Pred_todo -> false
+
 let initials_of is_initial_arr =
   let n = Array.length is_initial_arr in
   let count = ref 0 in
@@ -158,18 +188,61 @@ let hashtbl_index states name =
 
 let of_edge_lists ~name ~states ~pp_state ~is_initial ~succ_lists =
   Cr_obs.Obs.span "explicit.of_edge_lists" @@ fun () ->
-  let n = Array.length states in
   let index = hashtbl_index states name in
   let succ =
     Array.mapi
       (fun i js -> sorted_dedup (List.filter (fun j -> j <> i) js))
       succ_lists
   in
-  let pred = transpose n succ in
   let is_initial_arr = Array.map is_initial states in
   record_built
-    { name; states; index; succ; pred; is_initial = is_initial_arr;
-      initials = initials_of is_initial_arr; pp_state }
+    { name; states; index; succ; pred = lazy_pred ();
+      is_initial = is_initial_arr; initials = initials_of is_initial_arr;
+      pp_state }
+
+(* Successor rows, domain-chunked.  [mk_row] is a per-chunk factory so
+   builders can allocate private scratch once per domain; the returned
+   function must compute row i from i (and read-only captures) alone.
+   With jobs = 1 — the default — no chunking happens and the code path
+   is a plain [Array.init]. *)
+let build_rows ~num_states (mk_row : unit -> int -> int array) :
+    int array array =
+  let jobs = min (Par.current_jobs ()) num_states in
+  if jobs <= 1 then begin
+    let row = mk_row () in
+    Array.init num_states row
+  end
+  else begin
+    let out = Array.make num_states [||] in
+    let chunks =
+      Array.init jobs (fun d ->
+          (d * num_states / jobs, (d + 1) * num_states / jobs))
+    in
+    (* Chunks are disjoint contiguous ranges, so each slot of [out] has a
+       unique writer; [Par] joins its domains before returning. *)
+    ignore
+      (Par.map_array
+         (fun (lo, hi) ->
+           let row = mk_row () in
+           for i = lo to hi - 1 do
+             out.(i) <- row i
+           done)
+         chunks
+        : unit array);
+    out
+  end
+
+(* Lowest-level constructor: precomputed enumeration plus a per-chunk row
+   builder.  Every row must be sorted ascending, deduplicated and free of
+   self-loops — the chunked compile's rows land here unchecked. *)
+let of_rows ~name ~states ~index ~rows ~is_initial ~pp_state =
+  Cr_obs.Obs.span "explicit.of_rows" @@ fun () ->
+  let succ = build_rows ~num_states:(Array.length states) rows in
+  let is_initial_arr = Array.map is_initial states in
+  record_built
+    { name; states; index; succ; pred = lazy_pred ();
+      is_initial = is_initial_arr; initials = initials_of is_initial_arr;
+      pp_state }
 
 (* Direct indexed constructor: [state]/[index] must be mutually inverse
    bijections between [0 .. num_states - 1] and Sigma (e.g. mixed-radix
@@ -187,20 +260,15 @@ let of_indexed ~name ~num_states ~state ~index ~step ~is_initial ~pp_state =
              (Fmt.str "%s: step produced a state outside Sigma: %a" name
                 pp_state s))
   in
-  let succ =
-    Array.init num_states (fun i ->
-        sorted_dedup
-          (List.filter_map
-             (fun s' ->
-               let j = to_index s' in
-               if j = i then None else Some j)
-             (step states.(i))))
+  let rows () i =
+    sorted_dedup
+      (List.filter_map
+         (fun s' ->
+           let j = to_index s' in
+           if j = i then None else Some j)
+         (step states.(i)))
   in
-  let pred = transpose num_states succ in
-  let is_initial_arr = Array.map is_initial states in
-  record_built
-    { name; states; index; succ; pred; is_initial = is_initial_arr;
-      initials = initials_of is_initial_arr; pp_state }
+  of_rows ~name ~states ~index ~rows ~is_initial ~pp_state
 
 let of_system (sys : 'a System.t) =
   Cr_obs.Obs.span "explicit.of_system" @@ fun () ->
@@ -215,22 +283,16 @@ let of_system (sys : 'a System.t) =
              (Fmt.str "%s: step produced a state outside Sigma: %a"
                 sys.System.name sys.System.pp s))
   in
-  let n = Array.length states in
-  let succ =
-    Array.init n (fun i ->
-        sorted_dedup
-          (List.filter_map
-             (fun s' ->
-               let j = to_index s' in
-               if j = i then None else Some j)
-             (sys.System.step states.(i))))
+  let rows () i =
+    sorted_dedup
+      (List.filter_map
+         (fun s' ->
+           let j = to_index s' in
+           if j = i then None else Some j)
+         (sys.System.step states.(i)))
   in
-  let pred = transpose n succ in
-  let is_initial_arr = Array.map sys.System.is_initial states in
-  record_built
-    { name = sys.System.name; states; index; succ; pred;
-      is_initial = is_initial_arr; initials = initials_of is_initial_arr;
-      pp_state = sys.System.pp }
+  of_rows ~name:sys.System.name ~states ~index ~rows
+    ~is_initial:sys.System.is_initial ~pp_state:sys.System.pp
 
 (* Box on explicit systems over the same enumeration. *)
 let same_states t1 t2 =
@@ -241,7 +303,7 @@ let same_states t1 t2 =
 
 (* Union of the transition relations, directly on the adjacency arrays:
    no state re-hashing, no per-state closure lists.  Initial states come
-   from the left operand. *)
+   from the left operand; predecessors stay lazy. *)
 let box ?name t1 t2 =
   if not (same_states t1 t2) then
     invalid_arg "Explicit.box: systems do not share a state space";
@@ -249,8 +311,7 @@ let box ?name t1 t2 =
   let name = match name with Some n -> n | None -> t1.name ^ "[]" ^ t2.name in
   let n = Array.length t1.states in
   let succ = Array.init n (fun i -> merge_sorted t1.succ.(i) t2.succ.(i)) in
-  let pred = transpose n succ in
-  record_built { t1 with name; succ; pred }
+  record_built { t1 with name; succ; pred = lazy_pred () }
 
 let same_transitions t1 t2 =
   same_states t1 t2
@@ -258,6 +319,8 @@ let same_transitions t1 t2 =
       Array.iteri (fun i js -> if js <> t2.succ.(i) then ok := false) t1.succ;
       !ok)
 
+(* Shares the transition arrays — and the (possibly already forced)
+   predecessor transpose — with the original. *)
 let with_initials t pred =
   let is_initial_arr = Array.map pred t.states in
   { t with is_initial = is_initial_arr; initials = initials_of is_initial_arr }

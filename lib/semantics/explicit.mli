@@ -4,7 +4,15 @@
     refinement checkers.  States are indices [0..num_states-1]; the
     transition relation is stored as sorted adjacency arrays.  Self-loops
     are removed on construction: a step whose effect is the identity is
-    stuttering and generates no transition (DESIGN.md, section 2). *)
+    stuttering and generates no transition (DESIGN.md, section 2).
+
+    Construction is domain-chunked under the [CR_JOBS] contract of
+    {!Par}: the state range is split into contiguous chunks, one per
+    domain, each filling its slice of a preallocated row array.  Row i
+    depends only on i, so the result is identical for every job count
+    (default 1 = the sequential path).  Predecessor rows are computed
+    lazily, on the first {!predecessors} call — refinement
+    classification never needs them. *)
 
 exception Unknown_state of string
 (** Raised when a successor function escapes the enumerated state space, or
@@ -41,6 +49,22 @@ val of_indexed :
     and no duplicate scan.  Raises {!Unknown_state} if [step] escapes the
     indexed space ([index] returns [None]). *)
 
+val of_rows :
+  name:string ->
+  states:'a array ->
+  index:('a -> int option) ->
+  rows:(unit -> int -> int array) ->
+  is_initial:('a -> bool) ->
+  pp_state:(Format.formatter -> 'a -> unit) ->
+  'a t
+(** Lowest-level chunked constructor: a precomputed enumeration plus a
+    per-chunk row builder.  [rows ()] is called once per chunk (so the
+    builder may allocate private scratch) and the function it returns
+    must produce, for each state index, its successor row — sorted
+    ascending, deduplicated, without self-loops — from the index and
+    read-only captures alone.  Used by the allocation-lean
+    guarded-command compiler ({!Cr_guarded.Program.to_explicit}). *)
+
 val name : _ t -> string
 val rename : string -> 'a t -> 'a t
 val num_states : _ t -> int
@@ -49,7 +73,18 @@ val state : 'a t -> int -> 'a
 val find : 'a t -> 'a -> int
 val find_opt : 'a t -> 'a -> int option
 val successors : _ t -> int -> int array
+
 val predecessors : _ t -> int -> int array
+(** Predecessor row of a state.  The transpose of the successor arrays is
+    computed on the first call and cached ({!pred_forced}); the benign
+    first-force race between domains recomputes the same deterministic
+    value. *)
+
+val pred_forced : _ t -> bool
+(** Has the predecessor transpose been computed yet?  (Introspection for
+    tests and telemetry; {!box} and {!with_initials} preserve
+    laziness.) *)
+
 val is_initial : _ t -> int -> bool
 val initials : _ t -> int array
 val is_terminal : _ t -> int -> bool

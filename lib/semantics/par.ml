@@ -1,0 +1,85 @@
+(* Deterministic multicore fan-out for embarrassingly parallel sweeps.
+
+   Work is partitioned by stride: domain d computes items d, d + jobs,
+   d + 2*jobs, ...  Results land in a preallocated array slot per item, so
+   the merged output is independent of scheduling — running with any
+   number of jobs yields exactly the list [List.map f xs] would.
+
+   The job count comes from the [CR_JOBS] environment variable and
+   defaults to 1, in which case no domain is spawned at all and the code
+   path is the plain sequential map (output byte-identical to the
+   pre-multicore checker).  Callers may force a count with [?jobs] or
+   scope one with [with_jobs].
+
+   This module lives in [Cr_semantics] so that the explicit-state
+   compiler can chunk its state space across domains; [Cr_checker.Par]
+   re-exports it unchanged for the historical call sites. *)
+
+(* A malformed CR_JOBS used to fall through silently to 1; it still does,
+   but now says so once (per process) on stderr. *)
+let warned_bad_jobs = Atomic.make false
+
+let jobs_env () =
+  match Sys.getenv_opt "CR_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some 0 -> Domain.recommended_domain_count ()
+      | Some k when k >= 1 -> k
+      | Some _ | None ->
+          if not (Atomic.exchange warned_bad_jobs true) then
+            Printf.eprintf
+              "cr-par: ignoring invalid CR_JOBS=%s (want an integer >= 0); \
+               running sequentially\n\
+               %!"
+              s;
+          1)
+
+(* Nested calls (a parallel table row that itself sweeps Monte-Carlo
+   episodes) run sequentially: the outer fan-out already occupies the
+   cores, and spawning fresh domains per inner call costs more than the
+   inner parallelism buys at these problem sizes. *)
+let inside : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Per-domain job-count override, for benchmarks and tests that want a
+   specific fan-out without mutating the process environment. *)
+let override : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_jobs () =
+  if Domain.DLS.get inside then 1
+  else
+    match Domain.DLS.get override with
+    | Some k -> max 1 k
+    | None -> jobs_env ()
+
+let with_jobs k f =
+  let saved = Domain.DLS.get override in
+  Domain.DLS.set override (Some k);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set override saved) f
+
+let map_array ?jobs (f : 'a -> 'b) (a : 'a array) : 'b array =
+  let jobs = match jobs with Some k -> max 1 k | None -> current_jobs () in
+  let n = Array.length a in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get inside then Array.map f a
+  else begin
+    let jobs = min jobs n in
+    let out = Array.make n None in
+    let worker d () =
+      Domain.DLS.set inside true;
+      let i = ref d in
+      while !i < n do
+        out.(!i) <- Some (f a.(!i));
+        i := !i + jobs
+      done;
+      Domain.DLS.set inside false
+    in
+    (* Strides are disjoint, so each slot of [out] has a unique writer. *)
+    let domains =
+      List.init (jobs - 1) (fun d -> Domain.spawn (worker (d + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join domains;
+    Array.map (function Some x -> x | None -> assert false) out
+  end
+
+let map ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))

@@ -1,0 +1,32 @@
+(** Deterministic [Domain.spawn] fan-out for independent work items.
+
+    Items are partitioned by stride across domains and merged back by
+    index, so the result equals the sequential map regardless of the job
+    count or scheduling.  The job count defaults to the [CR_JOBS]
+    environment variable (default 1 — fully sequential, no domain is
+    spawned; 0 means [Domain.recommended_domain_count ()]).  Nested calls
+    from inside a parallel region run sequentially: the outer fan-out
+    already occupies the cores.
+
+    Hosted in [Cr_semantics] so the explicit-state compiler can chunk
+    state spaces across domains; re-exported as [Cr_checker.Par]. *)
+
+val jobs_env : unit -> int
+(** Parsed value of [CR_JOBS]; 1 when unset, the recommended domain
+    count when set to 0.  A malformed or negative value also yields 1,
+    with a one-line warning on stderr (printed once per process). *)
+
+val current_jobs : unit -> int
+(** The job count a parameterless {!map} would use right now: 1 inside a
+    parallel region, else the {!with_jobs} override, else {!jobs_env}. *)
+
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** [with_jobs k f] runs [f] with the job count forced to [k] in this
+    domain (benchmarks and tests; no environment mutation). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs = List.map f xs], computed on [jobs] domains.  [f] must not
+    rely on shared mutable state. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array analogue of {!map}. *)

@@ -30,6 +30,9 @@ let silently f =
 
 let merged_after_report ~jobs =
   Unix.putenv "CR_JOBS" (string_of_int jobs);
+  (* start from a cold compile cache so hit/miss totals don't depend on
+     how many runs came before this one *)
+  Cr_guarded.Program.clear_compile_cache ();
   Obs.reset ();
   Obs.force_collect ();
   silently (fun () -> Cr_experiments.Report.all ());
