@@ -20,7 +20,7 @@ bench-tables:
 	dune exec bench/main.exe -- --no-micro
 
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR4.json
+	dune exec bench/main.exe -- --json BENCH_PR6.json
 
 ci:
 	bin/ci.sh

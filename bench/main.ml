@@ -22,9 +22,10 @@ open Toolkit
 
 (* Measurement budget per test.  Sub-microsecond bodies need far more
    samples before the OLS fit stabilizes (the seed's E2-vm-step row sat
-   at r^2 = 0.34 under the uniform half-second quota), so tests declare
-   which budget they want. *)
-type speed = Normal | Sub_micro
+   at r^2 = 0.34 under the uniform half-second quota), and multi-ms
+   bodies need a longer quota before they collect enough runs, so tests
+   declare which budget they want. *)
+type speed = Normal | Sub_micro | Slow
 
 let micro_tests () =
   let n = 3 in
@@ -35,6 +36,21 @@ let micro_tests () =
   let d3 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 n) in
   let alpha3 = Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr3.alpha n) d3 btr in
   let d3_prog = Cr_tokenring.Btr3.dijkstra3 n in
+  (* larger instances for the PR 6 kernel micros *)
+  let btr_6 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program 6) in
+  let d3_6 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 6) in
+  let alpha3_6 =
+    Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr3.alpha 6) d3_6 btr_6
+  in
+  let d3_7 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 7) in
+  let d3_7_csr = Cr_checker.Reach.of_explicit d3_7 in
+  let d3_7_rows = Cr_checker.Csr.to_rows d3_7_csr in
+  let d3_7_inits = Array.to_list (Cr_semantics.Explicit.initials d3_7) in
+  let btr_5 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program 5) in
+  let d3_5 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 5) in
+  let alpha3_5 =
+    Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr3.alpha 5) d3_5 btr_5
+  in
   let daemon_seed = ref 0 in
   [
     (* one Test.make per experiment table *)
@@ -83,19 +99,67 @@ let micro_tests () =
         (Staged.stage (fun () ->
              ignore
                (Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 7)))) );
+    (* these three measure the actual check, so the verdict cache is
+       bypassed (a warm hit is measured separately below) *)
     ( Normal,
       Test.make ~name:"E5-lemma7-convergence-check"
         (Staged.stage (fun () ->
-             ignore
-               (Cr_core.Refine.convergence_refinement ~alpha:alpha4 ~c:c1 ~a:btr ()))) );
+             Cr_core.Check_cache.bypass (fun () ->
+                 ignore
+                   (Cr_core.Refine.convergence_refinement ~alpha:alpha4 ~c:c1
+                      ~a:btr ())))) );
     ( Normal,
       Test.make ~name:"E6-thm8-stabilization-check"
         (Staged.stage (fun () ->
-             ignore (Cr_core.Stabilize.stabilizing_to ~alpha:alpha4 ~c:c1 ~a:btr ()))) );
+             Cr_core.Check_cache.bypass (fun () ->
+                 ignore
+                   (Cr_core.Stabilize.stabilizing_to ~alpha:alpha4 ~c:c1 ~a:btr
+                      ())))) );
     ( Normal,
       Test.make ~name:"E8-thm11-stabilization-check"
         (Staged.stage (fun () ->
-             ignore (Cr_core.Stabilize.stabilizing_to ~alpha:alpha3 ~c:d3 ~a:btr ()))) );
+             Cr_core.Check_cache.bypass (fun () ->
+                 ignore
+                   (Cr_core.Stabilize.stabilizing_to ~alpha:alpha3 ~c:d3 ~a:btr
+                      ())))) );
+    (* chunked classification sweep on a ring big enough for the fan-out
+       to matter (Dijkstra-3 at N = 6 against BTR at N = 6: 7290 edges,
+       ~29 ms sequential), sequential vs four domains *)
+    ( Slow,
+      Test.make ~name:"classify-seq-dijkstra3-n6"
+        (Staged.stage (fun () ->
+             ignore (Cr_core.Refine.classify ~alpha:alpha3_6 ~c:d3_6 ~a:btr_6))) );
+    ( Slow,
+      Test.make ~name:"classify-par4-dijkstra3-n6"
+        (Staged.stage (fun () ->
+             Cr_checker.Par.with_jobs 4 (fun () ->
+                 ignore
+                   (Cr_core.Refine.classify ~alpha:alpha3_6 ~c:d3_6 ~a:btr_6)))) );
+    (* reachability: legacy array-of-rows kernel vs the CSR kernel on the
+       same graph (both adjacency representations prebuilt) *)
+    ( Normal,
+      Test.make ~name:"reach-rows-dijkstra3-n7"
+        (Staged.stage (fun () ->
+             ignore (Cr_checker.Reach.forward ~succ:d3_7_rows ~seeds:d3_7_inits))) );
+    ( Normal,
+      Test.make ~name:"reach-csr-dijkstra3-n7"
+        (Staged.stage (fun () ->
+             ignore
+               (Cr_checker.Reach.forward_csr ~succ:d3_7_csr ~seeds:d3_7_inits))) );
+    (* verdict cache: the true cold check vs a warm hit on the same key *)
+    ( Normal,
+      Test.make ~name:"verdict-cold-stabilize-d3-n5"
+        (Staged.stage (fun () ->
+             Cr_core.Check_cache.bypass (fun () ->
+                 ignore
+                   (Cr_core.Stabilize.stabilizing_to ~alpha:alpha3_5 ~c:d3_5
+                      ~a:btr_5 ())))) );
+    ( Sub_micro,
+      Test.make ~name:"verdict-warm-stabilize-d3-n5"
+        (Staged.stage (fun () ->
+             ignore
+               (Cr_core.Stabilize.stabilizing_to ~alpha:alpha3_5 ~c:d3_5
+                  ~a:btr_5 ()))) );
     ( Normal,
       Test.make ~name:"E14-recovery-episode"
         (Staged.stage (fun () ->
@@ -134,18 +198,26 @@ let run_micro () =
      single-sample (r^2-less) fits.  Drop the cache and compact: the
      micro tests re-warm the few small entries they need. *)
   Cr_guarded.Program.clear_compile_cache ();
+  Cr_core.Check_cache.clear_all ();
   Gc.compact ();
   let instance = Instance.monotonic_clock in
   let cfg_normal = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   (* sub-µs bodies: 10x the sample cap and 6x the time budget *)
   let cfg_sub = Benchmark.cfg ~limit:20000 ~quota:(Time.second 3.0) ~kde:None () in
+  (* multi-ms bodies: same sample cap, 6x the time budget *)
+  let cfg_slow = Benchmark.cfg ~limit:2000 ~quota:(Time.second 3.0) ~kde:None () in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let rows = ref [] in
   List.iter
     (fun (speed, test) ->
-      let cfg = match speed with Normal -> cfg_normal | Sub_micro -> cfg_sub in
+      let cfg =
+        match speed with
+        | Normal -> cfg_normal
+        | Sub_micro -> cfg_sub
+        | Slow -> cfg_slow
+      in
       let results = Benchmark.all cfg [ instance ] test in
       let analysis = Analyze.all ols instance results in
       Hashtbl.iter
@@ -300,7 +372,7 @@ let () =
   let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
   let json_path = parse_json_path Sys.argv in
   Cr_experiments.Report.all ~ns:[ 2; 3; 4; 5 ]
-    ~ns_direct:[ 2; 3; 4; 5; 6; 7 ]
+    ~ns_direct:[ 2; 3; 4; 5; 6; 7; 8 ]
     ~ns_kstate:[ 2; 3; 4; 5; 6 ] ();
   let micro = if skip_micro then [] else run_micro () in
   if not skip_micro then print_micro micro;

@@ -40,7 +40,36 @@ hits=$(sed -n 's/^ *compile\.cache\.hits *\([0-9][0-9]*\)$/\1/p' "$cachelog")
   exit 1
 }
 
-# The committed benchmark artifact must stay well-formed JSON.
+# Verdict-cache smoke: the experiment tables ask the same refinement /
+# stabilization questions more than once, so the content-addressed
+# Check_cache must report hits — and disabling it with CR_CHECK_CACHE=0
+# must not change a single output byte.
+expout=$(mktemp /tmp/cr.exp.XXXXXX)
+expout0=$(mktemp /tmp/cr.exp0.XXXXXX)
+explog=$(mktemp /tmp/cr.explog.XXXXXX)
+trap 'rm -f "$trace" "$lintjson" "$cachelog" "$expout" "$expout0" "$explog"' EXIT
+CR_JOBS=2 CR_STATS=1 dune exec bin/crcheck.exe -- experiments --max-n 3 \
+  > /dev/null 2> "$explog"
+checkhits=$(sed -n 's/^ *check\.cache\.hits *\([0-9][0-9]*\)$/\1/p' "$explog")
+[ -n "$checkhits" ] && [ "$checkhits" -ge 1 ] || {
+  echo "ci: expected nonzero check.cache.hits in CR_STATS summary" >&2
+  cat "$explog" >&2
+  exit 1
+}
+# Byte-compare without CR_STATS: the stats cost appendix carries cache
+# counters that legitimately differ between the two runs.
+CR_JOBS=2 dune exec bin/crcheck.exe -- experiments --max-n 3 \
+  > "$expout" 2> /dev/null
+CR_JOBS=2 CR_CHECK_CACHE=0 dune exec bin/crcheck.exe -- experiments --max-n 3 \
+  > "$expout0" 2> /dev/null
+cmp -s "$expout" "$expout0" || {
+  echo "ci: verdicts differ between cached and CR_CHECK_CACHE=0 runs" >&2
+  diff "$expout" "$expout0" >&2 || true
+  exit 1
+}
+
+# The committed benchmark artifacts must stay well-formed JSON.
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR4.json
+dune exec bin/trace_lint.exe -- --json-only BENCH_PR6.json
 
 echo "ci: OK"

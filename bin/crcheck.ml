@@ -66,13 +66,7 @@ let verify name n stats =
   with_entry name (fun e ->
       let p = e.Cr_experiments.Registry.program n in
       let ep = Cr_experiments.Registry.explicit e n in
-      let spec = Cr_experiments.Registry.spec_explicit e n in
-      let alpha =
-        Cr_semantics.Abstraction.tabulate
-          (e.Cr_experiments.Registry.alpha n)
-          ep spec
-      in
-      let r = Cr_core.Stabilize.stabilizing_to ~alpha ~c:ep ~a:spec () in
+      let r = Cr_experiments.Registry.stabilization e n in
       pf "%a@." Cr_core.Stabilize.pp_report r;
       if stats then pp_cost "stabilize" r.Cr_core.Stabilize.cost;
       (match r.Cr_core.Stabilize.bad_cycle with
@@ -90,7 +84,7 @@ let verify name n stats =
       (* also report the weakly-fair verdict when the strict one fails *)
       if not r.Cr_core.Stabilize.holds then begin
         let fair = Cr_sim.Glue.fair_tables p ep in
-        let rf = Cr_core.Stabilize.stabilizing_to ~alpha ~fair ~c:ep ~a:spec () in
+        let rf = Cr_experiments.Registry.stabilization ~fair e n in
         pf "under a weakly fair daemon: %s@."
           (if rf.Cr_core.Stabilize.holds then "stabilizing" else "still not stabilizing")
       end;
@@ -109,29 +103,20 @@ let refine name n stats =
   with_entry name (fun e ->
       let ep = Cr_experiments.Registry.explicit e n in
       let spec = Cr_experiments.Registry.spec_explicit e n in
-      let alpha =
-        Cr_semantics.Abstraction.tabulate
-          (e.Cr_experiments.Registry.alpha n)
-          ep spec
-      in
+      let reports = Cr_experiments.Registry.refinements e n in
       List.iter
         (fun (label, report) ->
           pf "%-14s %a@." label Cr_core.Refine.pp_report report;
           if stats then pp_cost label report.Cr_core.Refine.cost)
-        [
-          ("init", Cr_core.Refine.init_refinement ~alpha ~c:ep ~a:spec ());
-          ("everywhere", Cr_core.Refine.everywhere_refinement ~alpha ~c:ep ~a:spec ());
-          ("convergence", Cr_core.Refine.convergence_refinement ~alpha ~c:ep ~a:spec ());
-          ( "ee",
-            Cr_core.Refine.everywhere_eventually_refinement ~alpha ~c:ep ~a:spec () );
-        ];
-      let conv = Cr_core.Refine.convergence_refinement ~alpha ~c:ep ~a:spec () in
+        reports;
+      (* a verdict-cache hit: "convergence" was just computed above *)
+      let conv = List.assoc "convergence" reports in
       let reach = Cr_checker.Reach.reachable_from_initial ep in
       List.iter
         (fun f ->
           let anchor = Cr_core.Refine.failure_state f in
           pf "  %a  [%s]@." (Cr_core.Refine.pp_failure ep spec) f
-            (if reach.(anchor) then "reachable fault-free"
+            (if Cr_checker.Bitset.get reach anchor then "reachable fault-free"
              else "requires a fault to reach"))
         conv.Cr_core.Refine.failures;
       if conv.Cr_core.Refine.holds then 0 else 1)
@@ -233,13 +218,7 @@ let kstate_cmd =
 let dot name n output =
   with_entry name (fun e ->
       let ep = Cr_experiments.Registry.explicit e n in
-      let spec = Cr_experiments.Registry.spec_explicit e n in
-      let alpha =
-        Cr_semantics.Abstraction.tabulate
-          (e.Cr_experiments.Registry.alpha n)
-          ep spec
-      in
-      let r = Cr_core.Stabilize.stabilizing_to ~alpha ~c:ep ~a:spec () in
+      let r = Cr_experiments.Registry.stabilization e n in
       let good = r.Cr_core.Stabilize.good_mask in
       let highlight i = if good.(i) then Some "palegreen" else None in
       let dot_text = Cr_semantics.Dot.to_string ~highlight ep in

@@ -16,10 +16,11 @@ let campaign ~name (p : Cr_guarded.Program.t) ~converged ~n =
   let e = Cr_guarded.Program.to_explicit p in
   let succ = Cr_checker.Reach.of_explicit e in
   let mask =
-    Array.init (Cr_semantics.Explicit.num_states e) (fun i ->
-        not (converged (Cr_semantics.Explicit.state e i)))
+    Cr_checker.Bitset.of_bool_array
+      (Array.init (Cr_semantics.Explicit.num_states e) (fun i ->
+           not (converged (Cr_semantics.Explicit.state e i))))
   in
-  let depth = Cr_checker.Paths.longest_within ~succ ~mask in
+  let depth = Cr_checker.Paths.longest_within_csr ~succ ~mask in
   let worst = Array.fold_left max 0 depth in
   pf "exact worst-case recovery: %d steps@." worst;
   (* Monte-Carlo under random and round-robin daemons *)

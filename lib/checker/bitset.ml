@@ -1,0 +1,4 @@
+(* Re-export of the packed boolean masks, for checker-side call sites
+   (see [Csr] for the arrangement). *)
+
+include Cr_semantics.Bitset

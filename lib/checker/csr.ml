@@ -1,0 +1,6 @@
+(* Re-export: the shared CSR graph type lives in [Cr_semantics] (the
+   explicit-state compiler stores its transition relation in it), and the
+   checker kernels consume it under the historical [Cr_checker] namespace
+   — same arrangement as [Par]. *)
+
+include Cr_semantics.Csr

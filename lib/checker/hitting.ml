@@ -66,6 +66,53 @@ let expected ?(epsilon = 1e-9) ?(max_iter = 1_000_000) ?pred
   Cr_obs.Obs.add c_iterations !iter;
   e
 
+(* The same value iteration over the flat CSR arrays: no per-state row
+   fetch, [can_reach] marked in a packed bitset. *)
+let expected_csr ?(epsilon = 1e-9) ?(max_iter = 1_000_000) ?pred
+    ~(succ : Csr.t) ~(target : bool array) () : float array =
+  Cr_obs.Obs.span "hitting.expected" @@ fun () ->
+  let n = Csr.num_states succ in
+  let rp = Csr.row_ptr succ and tg = Csr.targets succ in
+  let seeds = Reach.members target in
+  let can_reach =
+    match pred with
+    | Some p -> Reach.forward_csr ~succ:p ~seeds
+    | None -> Reach.backward_csr ~succ ~seeds
+  in
+  let e = Array.make n 0.0 in
+  let next = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    if not (Bitset.get can_reach i) then e.(i) <- infinity
+  done;
+  let iter = ref 0 in
+  let delta = ref infinity in
+  while !delta > epsilon && !iter < max_iter do
+    delta := 0.0;
+    for i = 0 to n - 1 do
+      if target.(i) then next.(i) <- 0.0
+      else if not (Bitset.get can_reach i) then next.(i) <- infinity
+      else begin
+        let lo = rp.(i) and hi = rp.(i + 1) in
+        if hi = lo then next.(i) <- infinity (* non-target deadlock *)
+        else begin
+          let sum = ref 0.0 in
+          for k = lo to hi - 1 do
+            sum := !sum +. e.(tg.(k))
+          done;
+          next.(i) <- 1.0 +. (!sum /. float_of_int (hi - lo))
+        end
+      end;
+      let diff = Float.abs (next.(i) -. e.(i)) in
+      if Float.is_nan diff then ()
+      else if diff > !delta then delta := diff
+    done;
+    Array.blit next 0 e 0 n;
+    incr iter
+  done;
+  Cr_obs.Obs.incr c_runs;
+  Cr_obs.Obs.add c_iterations !iter;
+  e
+
 let max_finite (e : float array) =
   Array.fold_left
     (fun acc v -> if Float.is_finite v && v > acc then v else acc)

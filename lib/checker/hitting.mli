@@ -14,5 +14,16 @@ val expected :
     [infinity] when the target is unreachable (or a non-target deadlock
     is hit surely). *)
 
+val expected_csr :
+  ?epsilon:float ->
+  ?max_iter:int ->
+  ?pred:Csr.t ->
+  succ:Csr.t ->
+  target:bool array ->
+  unit ->
+  float array
+(** {!expected} over a CSR graph; [?pred] takes the system's stored
+    predecessor CSR to skip the transposition. *)
+
 val max_finite : float array -> float
 val mean_finite : float array -> float

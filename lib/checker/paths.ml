@@ -1,4 +1,9 @@
-(* Shortest-path queries (BFS) over adjacency arrays. *)
+(* Shortest-path queries (BFS) and DAG longest paths.
+
+   The CSR kernels are the production path (the memoized oracle is
+   CSR-backed since the classify sweep feeds it the explicit system's
+   flat graph directly); the array-of-rows kernels remain as the
+   independent reference implementation for the qcheck properties. *)
 
 (* Telemetry (all no-ops unless CR_STATS/CR_TRACE is on).  BFS expansion
    counts are published once per BFS from the final queue tail — every
@@ -36,6 +41,36 @@ let bfs_distances ~succ ~src =
   Cr_obs.Obs.add c_bfs_expansions !tail;
   dist
 
+(* Same BFS over the flat CSR arrays.  [q] is caller-provided scratch of
+   capacity >= n so the memoizing oracle shares one queue across
+   sources. *)
+let bfs_into ~(g : Csr.t) ~(q : int array) ~src =
+  let rp = Csr.row_ptr g and tg = Csr.targets g in
+  let dist = Array.make (Csr.num_states g) (-1) in
+  let head = ref 0 and tail = ref 0 in
+  dist.(src) <- 0;
+  q.(0) <- src;
+  tail := 1;
+  while !head < !tail do
+    let i = q.(!head) in
+    incr head;
+    let d = dist.(i) + 1 in
+    for k = rp.(i) to rp.(i + 1) - 1 do
+      let j = tg.(k) in
+      if dist.(j) = -1 then begin
+        dist.(j) <- d;
+        q.(!tail) <- j;
+        incr tail
+      end
+    done
+  done;
+  Cr_obs.Obs.incr c_bfs_runs;
+  Cr_obs.Obs.add c_bfs_expansions !tail;
+  dist
+
+let bfs_distances_csr ~succ ~src =
+  bfs_into ~g:succ ~q:(Array.make (max (Csr.num_states succ) 1) 0) ~src
+
 (* A shortest-path oracle over a fixed graph: per-source BFS distance rows
    computed on demand and memoized, so a checker run that queries many
    (src, dst) pairs (one per non-exact edge in [Refine.classify]) pays one
@@ -43,14 +78,14 @@ let bfs_distances ~succ ~src =
    successor BFSs of the src = dst cycle case, which are shared with the
    plain queries. *)
 type oracle = {
-  osucc : int array array;
+  osucc : Csr.t;
   rows : int array option array;  (* src -> memoized distance row *)
   q : int array;  (* scratch BFS queue, shared across sources *)
 }
 
 let make_oracle ~succ =
-  let n = Array.length succ in
-  { osucc = succ; rows = Array.make n None; q = Array.make n 0 }
+  let n = Csr.num_states succ in
+  { osucc = succ; rows = Array.make n None; q = Array.make (max n 1) 0 }
 
 let oracle_dist o ~src =
   match o.rows.(src) with
@@ -59,27 +94,7 @@ let oracle_dist o ~src =
       d
   | None ->
       Cr_obs.Obs.incr c_oracle_misses;
-      let succ = o.osucc and q = o.q in
-      let dist = Array.make (Array.length succ) (-1) in
-      let head = ref 0 and tail = ref 0 in
-      dist.(src) <- 0;
-      q.(0) <- src;
-      tail := 1;
-      while !head < !tail do
-        let i = q.(!head) in
-        incr head;
-        let d = dist.(i) + 1 in
-        Array.iter
-          (fun j ->
-            if dist.(j) = -1 then begin
-              dist.(j) <- d;
-              q.(!tail) <- j;
-              incr tail
-            end)
-          succ.(i)
-      done;
-      Cr_obs.Obs.incr c_bfs_runs;
-      Cr_obs.Obs.add c_bfs_expansions !tail;
+      let dist = bfs_into ~g:o.osucc ~q:o.q ~src in
       o.rows.(src) <- Some dist;
       dist
 
@@ -87,19 +102,18 @@ let shortest_nonempty_memo o ~src ~dst =
   if src <> dst then
     let d = oracle_dist o ~src in
     if d.(dst) >= 1 then Some d.(dst) else None
-  else
+  else begin
     (* shortest cycle through src *)
     let best = ref None in
-    Array.iter
-      (fun j ->
+    Csr.iter_row o.osucc src (fun j ->
         let d = oracle_dist o ~src:j in
         if d.(dst) >= 0 then
           let len = 1 + d.(dst) in
           match !best with
           | Some b when b <= len -> ()
-          | _ -> best := Some len)
-      o.osucc.(src);
+          | _ -> best := Some len);
     !best
+  end
 
 (* Length of the shortest nonempty path from [src] to [dst]; [None] when
    unreachable by a nonempty path.  (src = dst requires a cycle.) *)
@@ -150,6 +164,40 @@ let shortest_path ~succ ~src ~dst =
       let rec build acc i = if i = src then src :: acc else build (i :: acc) parent.(i) in
       Some (build [] dst)
     end
+
+let shortest_path_csr ~succ ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let n = Csr.num_states succ in
+    let rp = Csr.row_ptr succ and tg = Csr.targets succ in
+    let parent = Array.make n (-1) in
+    let dist = Array.make n (-1) in
+    let q = Array.make n 0 in
+    let head = ref 0 and tail = ref 0 in
+    dist.(src) <- 0;
+    q.(0) <- src;
+    tail := 1;
+    let found = ref false in
+    while (not !found) && !head < !tail do
+      let i = q.(!head) in
+      incr head;
+      for k = rp.(i) to rp.(i + 1) - 1 do
+        let j = tg.(k) in
+        if dist.(j) = -1 then begin
+          dist.(j) <- dist.(i) + 1;
+          parent.(j) <- i;
+          if j = dst then found := true;
+          q.(!tail) <- j;
+          incr tail
+        end
+      done
+    done;
+    if not !found then None
+    else begin
+      let rec build acc i = if i = src then src :: acc else build (i :: acc) parent.(i) in
+      Some (build [] dst)
+    end
+  end
 
 (* Longest path (number of edges) from each masked state while staying in
    the masked region, where leaving the region (or stopping) costs nothing.
@@ -208,6 +256,57 @@ let longest_within ~succ ~mask =
   in
   Array.init n (fun i ->
       if not mask.(i) then 0
+      else begin
+        if memo.(i) < 0 then compute i;
+        memo.(i)
+      end)
+
+(* The same DFS over the flat CSR arrays and a packed mask. *)
+let longest_within_csr ~succ ~mask =
+  Cr_obs.Obs.span "paths.longest_within" @@ fun () ->
+  let n = Csr.num_states succ in
+  let rp = Csr.row_ptr succ and tg = Csr.targets succ in
+  let memo = Array.make n (-1) in
+  let visiting = Array.make n false in
+  let call_v = Array.make n 0 in
+  let call_c = Array.make n 0 in
+  let cp = ref 0 in
+  let compute root =
+    visiting.(root) <- true;
+    call_v.(0) <- root;
+    call_c.(0) <- 0;
+    cp := 1;
+    while !cp > 0 do
+      let i = call_v.(!cp - 1) in
+      let c = call_c.(!cp - 1) in
+      if c < rp.(i + 1) - rp.(i) then begin
+        let j = tg.(rp.(i) + c) in
+        call_c.(!cp - 1) <- c + 1;
+        if Bitset.get mask j then begin
+          if visiting.(j) then raise Cyclic;
+          if memo.(j) < 0 then begin
+            visiting.(j) <- true;
+            call_v.(!cp) <- j;
+            call_c.(!cp) <- 0;
+            incr cp
+          end
+        end
+      end
+      else begin
+        decr cp;
+        visiting.(i) <- false;
+        let best = ref 0 in
+        for k = rp.(i) to rp.(i + 1) - 1 do
+          let j = tg.(k) in
+          let v = 1 + if Bitset.get mask j then memo.(j) else 0 in
+          if v > !best then best := v
+        done;
+        memo.(i) <- !best
+      end
+    done
+  in
+  Array.init n (fun i ->
+      if not (Bitset.get mask i) then 0
       else begin
         if memo.(i) < 0 then compute i;
         memo.(i)

@@ -1,7 +1,14 @@
-(** BFS shortest paths and DAG longest paths over adjacency arrays. *)
+(** BFS shortest paths and DAG longest paths.
+
+    The memoized {!oracle} and the [_csr] kernels run over {!Csr} graphs
+    (the production path); the array-of-rows functions are the reference
+    implementation the qcheck equivalence properties compare against. *)
 
 val bfs_distances : succ:int array array -> src:int -> int array
 (** [dist.(j)] = shortest path length from [src], or [-1]. *)
+
+val bfs_distances_csr : succ:Csr.t -> src:int -> int array
+(** {!bfs_distances} over a CSR graph. *)
 
 val shortest_nonempty : succ:int array array -> src:int -> dst:int -> int option
 (** Length of the shortest path of length >= 1 (for [src = dst], the
@@ -9,11 +16,11 @@ val shortest_nonempty : succ:int array array -> src:int -> dst:int -> int option
     convergence-refinement checker. *)
 
 type oracle
-(** Memoized shortest-path queries over a fixed graph: one BFS per
+(** Memoized shortest-path queries over a fixed CSR graph: one BFS per
     distinct source across the oracle's lifetime, shared by all queries
     (e.g. every non-exact edge of one [Refine.classify] run). *)
 
-val make_oracle : succ:int array array -> oracle
+val make_oracle : succ:Csr.t -> oracle
 
 val oracle_dist : oracle -> src:int -> int array
 (** The (memoized) BFS distance row from [src]; same contents as
@@ -25,6 +32,9 @@ val shortest_nonempty_memo : oracle -> src:int -> dst:int -> int option
 val shortest_path : succ:int array array -> src:int -> dst:int -> int list option
 (** One shortest path, inclusive of endpoints ([src = dst] gives [[src]]). *)
 
+val shortest_path_csr : succ:Csr.t -> src:int -> dst:int -> int list option
+(** {!shortest_path} over a CSR graph. *)
+
 exception Cyclic
 
 val longest_within : succ:int array array -> mask:bool array -> int array
@@ -33,3 +43,6 @@ val longest_within : succ:int array array -> mask:bool array -> int array
     starting there.  Raises {!Cyclic} if the masked subgraph has a cycle.
     This is the exact worst-case convergence time when [mask] is the set of
     illegitimate states of a stabilizing system. *)
+
+val longest_within_csr : succ:Csr.t -> mask:Bitset.t -> int array
+(** {!longest_within} over a CSR graph and a packed mask. *)

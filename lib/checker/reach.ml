@@ -1,4 +1,12 @@
-(* Reachability over adjacency arrays. *)
+(* Reachability kernels.
+
+   The CSR entry points ([forward_csr], [backward_of_explicit],
+   [reachable_from_initial]) are the production path: they walk the flat
+   [Csr] arrays an explicit system already stores and mark a packed
+   [Bitset] — no row copying, no per-row allocation.  The historical
+   array-of-rows kernels ([forward]/[backward] over [int array array])
+   are kept as the independent reference implementation the qcheck
+   properties compare against. *)
 
 let forward ~succ ~(seeds : int list) : bool array =
   let n = Array.length succ in
@@ -31,22 +39,16 @@ let transpose succ =
 (* States that can reach some seed. *)
 let backward ~succ ~seeds = forward ~succ:(transpose succ) ~seeds
 
-let of_explicit expl = Array.init (Cr_semantics.Explicit.num_states expl) (Cr_semantics.Explicit.successors expl)
-
-let pred_of_explicit expl =
-  Array.init (Cr_semantics.Explicit.num_states expl)
-    (Cr_semantics.Explicit.predecessors expl)
-
-(* Backward reachability straight off the predecessor arrays an explicit
-   system already stores — no transposition pass, no row copying. *)
-let backward_of_explicit expl ~seeds =
-  let n = Cr_semantics.Explicit.num_states expl in
-  let seen = Array.make n false in
-  let stack = Array.make n 0 in
+(* Same DFS over the flat CSR arrays, marking a packed bitset. *)
+let forward_csr ~succ ~(seeds : int list) : Bitset.t =
+  let n = Csr.num_states succ in
+  let rp = Csr.row_ptr succ and tg = Csr.targets succ in
+  let seen = Bitset.create n in
+  let stack = Array.make (max n 1) 0 in
   let sp = ref 0 in
   let push i =
-    if not seen.(i) then begin
-      seen.(i) <- true;
+    if not (Bitset.get seen i) then begin
+      Bitset.set seen i;
       stack.(!sp) <- i;
       incr sp
     end
@@ -54,12 +56,28 @@ let backward_of_explicit expl ~seeds =
   List.iter push seeds;
   while !sp > 0 do
     decr sp;
-    Array.iter push (Cr_semantics.Explicit.predecessors expl stack.(!sp))
+    let i = stack.(!sp) in
+    for k = rp.(i) to rp.(i + 1) - 1 do
+      push tg.(k)
+    done
   done;
   seen
 
+let backward_csr ~succ ~seeds = forward_csr ~succ:(Csr.transpose succ) ~seeds
+
+(* Zero-copy views of the CSRs an explicit system already stores. *)
+let of_explicit = Cr_semantics.Explicit.csr
+
+let pred_of_explicit = Cr_semantics.Explicit.pred_csr
+
+(* Backward reachability straight off the stored predecessor CSR — no
+   transposition pass here, no row copying. *)
+let backward_of_explicit expl ~seeds =
+  forward_csr ~succ:(Cr_semantics.Explicit.pred_csr expl) ~seeds
+
 let reachable_from_initial expl =
-  forward ~succ:(of_explicit expl)
+  forward_csr
+    ~succ:(Cr_semantics.Explicit.csr expl)
     ~seeds:(Array.to_list (Cr_semantics.Explicit.initials expl))
 
 let count mask = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask

@@ -1,4 +1,10 @@
-(** Reachability over adjacency arrays ([succ.(i)] = successors of [i]). *)
+(** Reachability kernels.
+
+    The production path is CSR + packed bitsets: {!forward_csr} over the
+    flat graph an explicit system hands out via {!of_explicit} (a
+    zero-copy view).  The array-of-rows kernels ({!forward}/{!backward})
+    are the independent reference implementation used by the qcheck
+    equivalence properties. *)
 
 val forward : succ:int array array -> seeds:int list -> bool array
 (** States reachable from [seeds] (inclusive). *)
@@ -8,17 +14,28 @@ val backward : succ:int array array -> seeds:int list -> bool array
 
 val transpose : int array array -> int array array
 
-val of_explicit : _ Cr_semantics.Explicit.t -> int array array
-(** The adjacency array of an explicit system. *)
+val forward_csr : succ:Csr.t -> seeds:int list -> Bitset.t
+(** {!forward} over a CSR graph, marking a packed bitset. *)
 
-val pred_of_explicit : _ Cr_semantics.Explicit.t -> int array array
-(** The predecessor adjacency an explicit system already stores. *)
+val backward_csr : succ:Csr.t -> seeds:int list -> Bitset.t
+(** {!backward} over a CSR graph (transposes internally; prefer
+    {!backward_of_explicit} when the system's stored transpose is
+    available). *)
+
+val of_explicit : _ Cr_semantics.Explicit.t -> Csr.t
+(** The transition CSR of an explicit system — a zero-copy view of what
+    the system already stores. *)
+
+val pred_of_explicit : _ Cr_semantics.Explicit.t -> Csr.t
+(** The predecessor CSR an explicit system stores (forced on first use);
+    also zero-copy. *)
 
 val backward_of_explicit :
-  _ Cr_semantics.Explicit.t -> seeds:int list -> bool array
-(** {!backward} using the stored predecessor arrays (no transposition). *)
+  _ Cr_semantics.Explicit.t -> seeds:int list -> Bitset.t
+(** Backward reachability over the stored predecessor CSR (no
+    transposition pass). *)
 
-val reachable_from_initial : _ Cr_semantics.Explicit.t -> bool array
+val reachable_from_initial : _ Cr_semantics.Explicit.t -> Bitset.t
 (** States reachable from the initial states — for a specification [A]
     these are the "legitimate" states used by the stabilization checker. *)
 

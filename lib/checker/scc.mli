@@ -10,6 +10,11 @@ type t = {
 }
 
 val compute : int array array -> t
+(** Reference kernel over array-of-rows adjacency (qcheck baseline). *)
+
+val compute_csr : Csr.t -> t
+(** Production kernel over a CSR graph.  Traverses in the same order as
+    {!compute} on the equivalent rows, so component ids are identical. *)
 
 val on_cycle : t -> int -> bool
 (** Is the state on some cycle? *)
@@ -25,3 +30,7 @@ val restrict : int array array -> bool array -> int array array
 
 val acyclic_within : int array array -> bool array -> bool
 (** Is the subgraph induced by the masked states acyclic? *)
+
+val acyclic_within_csr : Csr.t -> Bitset.t -> bool
+(** {!acyclic_within} over a CSR graph and a packed mask (restricts via
+    {!Csr.restrict}, no per-row allocation). *)

@@ -33,11 +33,11 @@ type analysis = {
 
 let enabled (next : tables) a i = next.(a).(i) >= 0
 
-(* [graph] is the (restricted) adjacency the run is confined to: a step
-   counts as "taken inside" only if it is an edge of that graph within the
-   SCC.  (For stuttering analyses the graph is a strict subgraph of the
-   system, so the edge-membership test matters.) *)
-let admissible (next : tables) ~(graph : int array array)
+(* [edge] is membership in the (restricted) adjacency the run is confined
+   to: a step counts as "taken inside" only if it is an edge of that graph
+   within the SCC.  (For stuttering analyses the graph is a strict
+   subgraph of the system, so the edge-membership test matters.) *)
+let admissible (next : tables) ~(edge : int -> int -> bool)
     ~(in_scc : int -> bool) (states : int list) =
   match states with
   | [] | [ _ ] -> false
@@ -52,7 +52,7 @@ let admissible (next : tables) ~(graph : int array array)
               List.exists
                 (fun i ->
                   let j = next.(a).(i) in
-                  j >= 0 && in_scc j && Array.exists (fun k -> k = j) graph.(i))
+                  j >= 0 && in_scc j && edge i j)
                 states
             in
             if not taken_inside then ok := false
@@ -89,7 +89,49 @@ let analyze (next : tables) ~(succ : int array array) ~(mask : bool array) :
     (fun c states ->
       if scc.Cr_checker.Scc.sizes.(c) >= 2 then begin
         let in_scc j = mask.(j) && scc.Cr_checker.Scc.component.(j) = c in
-        if admissible next ~graph:restricted ~in_scc states then begin
+        let edge i j = Array.exists (fun k -> k = j) restricted.(i) in
+        if admissible next ~edge ~in_scc states then begin
+          List.iter (fun i -> fair.(i) <- true) states;
+          sccs := states :: !sccs
+        end
+      end)
+    members;
+  Cr_obs.Obs.incr c_runs;
+  Cr_obs.Obs.add c_admissible (List.length !sccs);
+  { component; fair; sccs = List.rev !sccs }
+
+(* [analyze] over the system's flat CSR and a packed mask: restriction
+   stays flat and the taken-inside test is a binary search in the
+   restricted row — same boolean as the reference linear scan. *)
+let analyze_csr (next : tables) ~(succ : Cr_checker.Csr.t)
+    ~(mask : Cr_checker.Bitset.t) : analysis =
+  Cr_obs.Obs.span "fair.analyze" @@ fun () ->
+  let n = Cr_checker.Csr.num_states succ in
+  let restricted = Cr_checker.Csr.restrict succ mask in
+  let scc = Cr_checker.Scc.compute_csr restricted in
+  let members = Array.make scc.Cr_checker.Scc.count [] in
+  for i = n - 1 downto 0 do
+    if Cr_checker.Bitset.get mask i then begin
+      let c = scc.Cr_checker.Scc.component.(i) in
+      members.(c) <- i :: members.(c)
+    end
+  done;
+  let component = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    if Cr_checker.Bitset.get mask i then
+      component.(i) <- scc.Cr_checker.Scc.component.(i)
+  done;
+  let fair = Array.make n false in
+  let sccs = ref [] in
+  Array.iteri
+    (fun c states ->
+      if scc.Cr_checker.Scc.sizes.(c) >= 2 then begin
+        let in_scc j =
+          Cr_checker.Bitset.get mask j
+          && scc.Cr_checker.Scc.component.(j) = c
+        in
+        let edge i j = Cr_checker.Csr.mem restricted i j in
+        if admissible next ~edge ~in_scc states then begin
           List.iter (fun i -> fair.(i) <- true) states;
           sccs := states :: !sccs
         end

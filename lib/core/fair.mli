@@ -23,6 +23,11 @@ val enabled : tables -> int -> int -> bool
 val analyze : tables -> succ:int array array -> mask:bool array -> analysis
 (** SCCs of the subgraph induced by [mask], with fair-admissibility. *)
 
+val analyze_csr :
+  tables -> succ:Cr_checker.Csr.t -> mask:Cr_checker.Bitset.t -> analysis
+(** {!analyze} over a CSR graph and a packed mask — same analysis, flat
+    restriction, binary-search edge membership. *)
+
 val has_fair_divergence : tables -> succ:int array array -> mask:bool array -> bool
 
 val edge_on_fair_cycle : analysis -> int -> int -> bool

@@ -25,7 +25,12 @@ open Cr_semantics
 
    The checks are sound: a "holds" verdict implies the trace-theoretic
    definition (matching A-paths concatenate into a computation of A, and
-   maximality is preserved by the terminal conditions). *)
+   maximality is preserved by the terminal conditions).
+
+   All sweeps run over the systems' flat CSR graphs (zero-copy views);
+   the classification sweep is domain-chunked under the CR_JOBS contract
+   of [Par], and every verdict is memoized in a content-addressed
+   [Check_cache]. *)
 
 type edge_class = Stutter | Exact | Compression of int
 
@@ -90,6 +95,8 @@ type report = {
   holds : bool;
   stats : stats;
   failures : failure list;
+  total_failures : int;
+      (* number of failures found, before [failures] was truncated *)
   concrete : string;
   abstract : string;
   relation : string;
@@ -104,9 +111,12 @@ let pp_report fmt r =
                 compressions, max drop %d)"
       r.concrete r.relation r.abstract r.stats.edges r.stats.exact
       r.stats.stutter r.stats.compressions r.stats.max_dropped
+  else if List.length r.failures < r.total_failures then
+    Fmt.pf fmt "[%s %s %s] FAILS (showing %d of %d failure(s))" r.concrete
+      r.relation r.abstract (List.length r.failures) r.total_failures
   else
     Fmt.pf fmt "[%s %s %s] FAILS (%d failure(s))" r.concrete r.relation
-      r.abstract (List.length r.failures)
+      r.abstract r.total_failures
 
 (* The concrete state a failure is anchored at (the source of the failing
    edge, or the failing state itself). *)
@@ -124,7 +134,9 @@ let max_reported_failures = 10
 
 (* Classified edges of the concrete system, in [Explicit.iter_edges]
    order, as flat parallel arrays (CSR-style): edge [k] is
-   [srcs.(k) -> dsts.(k)] with class [cls.(k)]. *)
+   [srcs.(k) -> dsts.(k)] with class [cls.(k)].  The slot of every edge
+   is its absolute CSR offset, which is what lets the chunked sweep fill
+   disjoint slices and still merge to a job-count-independent result. *)
 type classified = {
   srcs : int array;
   dsts : int array;
@@ -136,8 +148,9 @@ let iter_classified t f =
     f t.srcs.(k) t.dsts.(k) t.cls.(k)
   done
 
-(* Edge-class telemetry, published once per classify (the sweep itself
-   carries no instrumentation beyond the oracle's own counters). *)
+(* Edge-class telemetry, published once per classify from the merged
+   chunk totals (the sweep itself carries no instrumentation beyond the
+   oracle's own counters). *)
 let c_classify_runs = Cr_obs.Obs.counter "refine.classify.runs"
 let c_edges_exact = Cr_obs.Obs.counter "refine.edges.exact"
 let c_edges_stutter = Cr_obs.Obs.counter "refine.edges.stutter"
@@ -145,42 +158,61 @@ let c_edges_compression = Cr_obs.Obs.counter "refine.edges.compression"
 let c_edges_unmatched = Cr_obs.Obs.counter "refine.edges.unmatched"
 let c_max_dropped = Cr_obs.Obs.counter ~kind:Cr_obs.Obs.Max "refine.max_dropped"
 
-(* Classify each edge of [c] against [a] through [alpha].  Shortest
-   abstract paths are answered by a per-source memoized BFS oracle, so
-   repeated compression queries from the same image cost one BFS total. *)
+(* Classify each edge of [c] against [a] through [alpha].
+
+   The row-major sweep is split into contiguous state chunks, one per
+   CR_JOBS domain (default 1 = this plain sequential path).  Chunk
+   boundaries are edge-balanced (binary search of the cumulative edge
+   count in [row_ptr]), every edge is written at its absolute CSR offset
+   into preallocated arrays, and per-chunk tallies are merged in chunk
+   order — so the classified arrays and stats are byte-identical for
+   every job count.
+
+   Shortest abstract paths are answered by a per-source memoized BFS
+   oracle; the oracle is domain-local, so chunks sharing a source image
+   may each pay its BFS.  The merged [refine.*] counters below are
+   derived from the per-edge totals and stay CR_JOBS-invariant; the
+   oracle's own hit/miss counters (and [paths.bfs.*]) are invariant only
+   on the sequential path. *)
 let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
     classified * stats =
   Cr_obs.Obs.span "refine.classify" @@ fun () ->
-  let succ_a = Cr_checker.Reach.of_explicit a in
-  let oracle = Cr_checker.Paths.make_oracle ~succ:succ_a in
-  let m = Explicit.num_transitions c in
+  let succ_a = Explicit.csr a in
+  let g = Explicit.csr c in
+  let rp = Cr_checker.Csr.row_ptr g and tg = Cr_checker.Csr.targets g in
+  let arp = Cr_checker.Csr.row_ptr succ_a
+  and atg = Cr_checker.Csr.targets succ_a in
+  let n = Explicit.num_states c in
+  let m = Cr_checker.Csr.num_edges g in
   let srcs = Array.make m 0 and dsts = Array.make m 0 in
   let cls = Array.make m None in
-  let exact = ref 0 and stutter = ref 0 in
-  let compressions = ref 0 and max_dropped = ref 0 in
-  let k = ref 0 in
   let some_stutter = Some Stutter and some_exact = Some Exact in
-  let n = Explicit.num_states c in
-  (* Row-major sweep: the source image and its abstract successor row are
-     fixed per row, so they are hoisted out of the inner edge loop. *)
-  for i = 0 to n - 1 do
-    let row = Explicit.successors c i in
-    if Array.length row > 0 then begin
-      let ai = alpha.(i) in
-      let arow = succ_a.(ai) in
-      Array.iter
-        (fun j ->
+  (* Sweep rows [lo, hi), writing each edge at its absolute offset;
+     returns this chunk's tallies (edge count is implied by the range). *)
+  let sweep lo hi =
+    let oracle = Cr_checker.Paths.make_oracle ~succ:succ_a in
+    let exact = ref 0 and stutter = ref 0 in
+    let compressions = ref 0 and max_dropped = ref 0 in
+    for i = lo to hi - 1 do
+      let klo = rp.(i) and khi = rp.(i + 1) in
+      if khi > klo then begin
+        (* the source image and its abstract row bounds are fixed per
+           row, so they are hoisted out of the inner edge loop *)
+        let ai = alpha.(i) in
+        let alo = arp.(ai) and ahi = arp.(ai + 1) in
+        for k = klo to khi - 1 do
+          let j = tg.(k) in
           let aj = alpha.(j) in
           let cl =
             if ai = aj then some_stutter
             else begin
               (* binary search in the sorted abstract successor row *)
-              let lo = ref 0 and hi = ref (Array.length arow) in
-              while !hi - !lo > 1 do
-                let mid = (!lo + !hi) / 2 in
-                if arow.(mid) <= aj then lo := mid else hi := mid
+              let slo = ref alo and shi = ref ahi in
+              while !shi - !slo > 1 do
+                let mid = (!slo + !shi) / 2 in
+                if atg.(mid) <= aj then slo := mid else shi := mid
               done;
-              if !hi > !lo && arow.(!lo) = aj then some_exact
+              if !shi > !slo && atg.(!slo) = aj then some_exact
               else
                 match
                   Cr_checker.Paths.shortest_nonempty_memo oracle ~src:ai
@@ -197,46 +229,76 @@ let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
               incr compressions;
               if len - 1 > !max_dropped then max_dropped := len - 1
           | None -> ());
-          srcs.(!k) <- i;
-          dsts.(!k) <- j;
-          cls.(!k) <- cl;
-          incr k)
-        row
+          srcs.(k) <- i;
+          dsts.(k) <- j;
+          cls.(k) <- cl
+        done
+      end
+    done;
+    (!exact, !stutter, !compressions, !max_dropped)
+  in
+  let jobs = min (Par.current_jobs ()) (max n 1) in
+  let exact, stutter, compressions, max_dropped =
+    if jobs <= 1 then sweep 0 n
+    else begin
+      (* Edge-balanced chunk boundaries: state index d covers edges up to
+         roughly d*m/jobs.  [row_ptr] is nondecreasing, so the smallest
+         state whose cumulative edge count reaches the quota is a binary
+         search; boundaries are clamped nondecreasing by construction. *)
+      let boundary d =
+        if d = 0 then 0
+        else if d = jobs then n
+        else begin
+          let want = d * m / jobs in
+          let lo = ref 0 and hi = ref n in
+          (* smallest i with rp.(i) >= want *)
+          while !hi - !lo > 0 do
+            let mid = (!lo + !hi) / 2 in
+            if rp.(mid) < want then lo := mid + 1 else hi := mid
+          done;
+          !lo
+        end
+      in
+      let chunks = Array.init jobs (fun d -> (boundary d, boundary (d + 1))) in
+      let parts = Par.map_array (fun (lo, hi) -> sweep lo hi) chunks in
+      (* deterministic merge in chunk order *)
+      Array.fold_left
+        (fun (e, s, cp, md) (e', s', cp', md') ->
+          (e + e', s + s', cp + cp', max md md'))
+        (0, 0, 0, 0) parts
     end
-  done;
+  in
   if Cr_obs.Obs.tracking () then begin
     Cr_obs.Obs.incr c_classify_runs;
-    Cr_obs.Obs.add c_edges_exact !exact;
-    Cr_obs.Obs.add c_edges_stutter !stutter;
-    Cr_obs.Obs.add c_edges_compression !compressions;
-    Cr_obs.Obs.add c_edges_unmatched
-      (m - !exact - !stutter - !compressions);
-    Cr_obs.Obs.record_max c_max_dropped !max_dropped
+    Cr_obs.Obs.add c_edges_exact exact;
+    Cr_obs.Obs.add c_edges_stutter stutter;
+    Cr_obs.Obs.add c_edges_compression compressions;
+    Cr_obs.Obs.add c_edges_unmatched (m - exact - stutter - compressions);
+    Cr_obs.Obs.record_max c_max_dropped max_dropped
   end;
   ( { srcs; dsts; cls },
-    {
-      edges = m;
-      exact = !exact;
-      stutter = !stutter;
-      compressions = !compressions;
-      max_dropped = !max_dropped;
-    } )
+    { edges = m; exact; stutter; compressions; max_dropped } )
 
-(* Adjacency of the stutter edges alone, built by count-then-fill (rows
+(* CSR of the stutter edges alone, built flat by count-then-fill (rows
    inherit the sorted order of the classified edges). *)
-let stutter_adjacency n (classified : classified) =
-  let deg = Array.make n 0 in
+let stutter_csr n (classified : classified) =
+  let row_ptr = Array.make (n + 1) 0 in
   iter_classified classified (fun i _ cls ->
-      match cls with Some Stutter -> deg.(i) <- deg.(i) + 1 | _ -> ());
-  let rows = Array.init n (fun i -> Array.make deg.(i) 0) in
-  let fill = Array.make n 0 in
+      match cls with
+      | Some Stutter -> row_ptr.(i + 1) <- row_ptr.(i + 1) + 1
+      | _ -> ());
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  let targets = Array.make row_ptr.(n) 0 in
+  let fill = Array.copy row_ptr in
   iter_classified classified (fun i j cls ->
       match cls with
       | Some Stutter ->
-          rows.(i).(fill.(i)) <- j;
+          targets.(fill.(i)) <- j;
           fill.(i) <- fill.(i) + 1
       | _ -> ());
-  rows
+  Cr_checker.Csr.unsafe_of_raw ~row_ptr ~targets
 
 let initial_failures ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) =
   Array.to_list (Explicit.initials c)
@@ -245,10 +307,12 @@ let initial_failures ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) =
          else Some (Initial_not_initial i))
 
 let terminal_failures ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t)
-    ~(restrict : bool array option) =
+    ~(restrict : Cr_checker.Bitset.t option) =
   let n = Explicit.num_states c in
   let consider i =
-    match restrict with None -> true | Some mask -> mask.(i)
+    match restrict with
+    | None -> true
+    | Some mask -> Cr_checker.Bitset.get mask i
   in
   let acc = ref [] in
   for i = 0 to n - 1 do
@@ -269,6 +333,7 @@ let make_report ~relation ~c ~a ~stats failures =
          | x :: rest -> x :: take (n - 1) rest
        in
        take max_reported_failures failures);
+    total_failures = List.length failures;
     concrete = Explicit.name c;
     abstract = Explicit.name a;
     relation;
@@ -288,81 +353,108 @@ let with_cost span_name f =
     { report with cost = Some (Cr_obs.Obs.diff ~before ~after) }
   end
 
+(* Verdict cache shared by all four relations: the key covers the
+   relation tag, both systems (names, exact transition structure,
+   initial states), the resolved abstraction table and the fairness
+   tables, so a hit can only return a report computed for an identical
+   question.  [CR_CHECK_CACHE=0] / [Check_cache.bypass] opt out;
+   [CR_CHECK_PARANOID=1] re-checks every hit. *)
+let check_cache : report Check_cache.t = Check_cache.create ()
+
+let same_report r1 r2 = { r1 with cost = None } = { r2 with cost = None }
+
+let resolve_alpha ~c = function
+  | Some t -> t
+  | None -> Abstraction.identity_table (Explicit.num_states c)
+
+let cache_key ~relation ~alpha ~fair ~(c : _ Explicit.t) ~(a : _ Explicit.t) =
+  let fp = Check_cache.Fp.create () in
+  Check_cache.Fp.add_explicit fp c;
+  Check_cache.Fp.add_explicit fp a;
+  Check_cache.Fp.add_int_array fp alpha;
+  Check_cache.Fp.add_option_int_array_array fp fair;
+  Printf.sprintf "%s|%s|%s|%s" relation (Explicit.name c) (Explicit.name a)
+    (Check_cache.Fp.to_hex fp)
+
+let cached ~relation ~alpha ~fair ~c ~a check =
+  if not (Check_cache.enabled ()) then check ()
+  else
+    Check_cache.find_or_check check_cache
+      ~key:(cache_key ~relation ~alpha ~fair ~c ~a)
+      ~same:same_report ~check
+
 (* [C ⊑ A]_init *)
 let init_refinement ?alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) () =
+  let alpha = resolve_alpha ~c alpha in
+  cached ~relation:"⊑_init" ~alpha ~fair:None ~c ~a @@ fun () ->
   with_cost "refine.init" @@ fun () ->
-  let alpha =
-    match alpha with
-    | Some t -> t
-    | None -> Abstraction.identity_table (Explicit.num_states c)
-  in
   let reach = Cr_checker.Reach.reachable_from_initial c in
   let failures = ref (initial_failures ~alpha ~c ~a) in
-  let stats = ref empty_stats in
+  let edges = ref 0 and exact = ref 0 in
   Explicit.iter_edges c (fun i j ->
-      if reach.(i) then begin
-        stats := { !stats with edges = !stats.edges + 1 };
-        if Explicit.has_edge a alpha.(i) alpha.(j) then
-          stats := { !stats with exact = !stats.exact + 1 }
+      if Cr_checker.Bitset.get reach i then begin
+        incr edges;
+        if Explicit.has_edge a alpha.(i) alpha.(j) then incr exact
         else failures := Init_edge_not_exact (i, j) :: !failures
       end);
   let failures =
     !failures @ terminal_failures ~alpha ~c ~a ~restrict:(Some reach)
   in
-  make_report ~relation:"⊑_init" ~c ~a ~stats:!stats failures
+  let stats = { empty_stats with edges = !edges; exact = !exact } in
+  make_report ~relation:"⊑_init" ~c ~a ~stats failures
 
 (* [C ⊑ A] — everywhere refinement *)
 let everywhere_refinement ?alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) () =
+  let alpha = resolve_alpha ~c alpha in
+  cached ~relation:"⊑" ~alpha ~fair:None ~c ~a @@ fun () ->
   with_cost "refine.everywhere" @@ fun () ->
-  let alpha =
-    match alpha with
-    | Some t -> t
-    | None -> Abstraction.identity_table (Explicit.num_states c)
-  in
   let failures = ref (initial_failures ~alpha ~c ~a) in
-  let stats = ref empty_stats in
+  let edges = ref 0 and exact = ref 0 in
   Explicit.iter_edges c (fun i j ->
-      stats := { !stats with edges = !stats.edges + 1 };
-      if Explicit.has_edge a alpha.(i) alpha.(j) then
-        stats := { !stats with exact = !stats.exact + 1 }
+      incr edges;
+      if Explicit.has_edge a alpha.(i) alpha.(j) then incr exact
       else failures := Init_edge_not_exact (i, j) :: !failures);
   let failures = !failures @ terminal_failures ~alpha ~c ~a ~restrict:None in
-  make_report ~relation:"⊑" ~c ~a ~stats:!stats failures
+  let stats = { empty_stats with edges = !edges; exact = !exact } in
+  make_report ~relation:"⊑" ~c ~a ~stats failures
 
 (* [C ⪯ A] — convergence refinement.  With [?fair], "on a cycle" means
    "on a weakly-fair cycle" (computations are restricted to weakly fair
    ones; see {!Fair}). *)
 let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
     ~(a : _ Explicit.t) () =
+  let alpha = resolve_alpha ~c alpha in
+  cached ~relation:"⪯" ~alpha ~fair ~c ~a @@ fun () ->
   with_cost "refine.convergence" @@ fun () ->
-  let alpha =
-    match alpha with
-    | Some t -> t
-    | None -> Abstraction.identity_table (Explicit.num_states c)
-  in
   let classified, stats = classify ~alpha ~c ~a in
   let n = Explicit.num_states c in
-  let succ_c = Cr_checker.Reach.of_explicit c in
-  let all_mask = Array.make n true in
+  let succ_c = Explicit.csr c in
   let edge_on_cycle =
     match fair with
     | None ->
         (* computed on demand: only compression edges query it *)
-        let scc = lazy (Cr_checker.Scc.compute succ_c) in
+        let scc = lazy (Cr_checker.Scc.compute_csr succ_c) in
         fun i j -> Cr_checker.Scc.edge_on_cycle (Lazy.force scc) i j
     | Some tables ->
-        let analysis = Fair.analyze tables ~succ:succ_c ~mask:all_mask in
+        let analysis =
+          Fair.analyze_csr tables ~succ:succ_c
+            ~mask:(Cr_checker.Bitset.full n)
+        in
         fun i j -> Fair.edge_on_fair_cycle analysis i j
   in
   let failures = ref (initial_failures ~alpha ~c ~a) in
-  (* 1. Init refinement: reachable edges must be Exact. *)
+  (* 1. Init refinement: reachable edges must be Exact.  The forward
+     reachability reuses [succ_c] — no adjacency rebuild. *)
   Cr_obs.Obs.span "refine.init_check" (fun () ->
-      let reach = Cr_checker.Reach.reachable_from_initial c in
+      let reach =
+        Cr_checker.Reach.forward_csr ~succ:succ_c
+          ~seeds:(Array.to_list (Explicit.initials c))
+      in
       iter_classified classified (fun i j cls ->
           match cls with
           | Some Exact -> ()
           | _ ->
-              if reach.(i) then
+              if Cr_checker.Bitset.get reach i then
                 failures := Init_edge_not_exact (i, j) :: !failures));
   (* 2. Global matching + finiteness of omissions. *)
   Cr_obs.Obs.span "refine.cycle_check" (fun () ->
@@ -378,14 +470,17 @@ let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
      A system with no stutter edge has no such cycle — skip the pass. *)
   (if stats.stutter > 0 then
      Cr_obs.Obs.span "refine.stutter_check" @@ fun () ->
-     let stutter_adj = stutter_adjacency n classified in
+     let stutter_adj = stutter_csr n classified in
      let on_stutter_cycle =
        match fair with
        | None ->
-           let stutter_scc = Cr_checker.Scc.compute stutter_adj in
+           let stutter_scc = Cr_checker.Scc.compute_csr stutter_adj in
            fun i -> Cr_checker.Scc.on_cycle stutter_scc i
        | Some tables ->
-           let analysis = Fair.analyze tables ~succ:stutter_adj ~mask:all_mask in
+           let analysis =
+             Fair.analyze_csr tables ~succ:stutter_adj
+               ~mask:(Cr_checker.Bitset.full n)
+           in
            fun i -> analysis.Fair.fair.(i)
      in
      for i = 0 to n - 1 do
@@ -404,32 +499,34 @@ let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
    a non-terminal image.  Init refinement is still required. *)
 let everywhere_eventually_refinement ?alpha ?fair ~(c : _ Explicit.t)
     ~(a : _ Explicit.t) () =
+  let alpha = resolve_alpha ~c alpha in
+  cached ~relation:"⊑_ee" ~alpha ~fair ~c ~a @@ fun () ->
   with_cost "refine.everywhere_eventually" @@ fun () ->
-  let alpha =
-    match alpha with
-    | Some t -> t
-    | None -> Abstraction.identity_table (Explicit.num_states c)
-  in
   let classified, stats = classify ~alpha ~c ~a in
   let n = Explicit.num_states c in
-  let succ_c = Cr_checker.Reach.of_explicit c in
-  let all_mask = Array.make n true in
+  let succ_c = Explicit.csr c in
   let edge_on_cycle =
     match fair with
     | None ->
         (* computed on demand: only non-exact, non-stutter edges query it *)
-        let scc = lazy (Cr_checker.Scc.compute succ_c) in
+        let scc = lazy (Cr_checker.Scc.compute_csr succ_c) in
         fun i j -> Cr_checker.Scc.edge_on_cycle (Lazy.force scc) i j
     | Some tables ->
-        let analysis = Fair.analyze tables ~succ:succ_c ~mask:all_mask in
+        let analysis =
+          Fair.analyze_csr tables ~succ:succ_c
+            ~mask:(Cr_checker.Bitset.full n)
+        in
         fun i j -> Fair.edge_on_fair_cycle analysis i j
   in
   let failures = ref (initial_failures ~alpha ~c ~a) in
   Cr_obs.Obs.span "refine.cycle_check" (fun () ->
-      let reach = Cr_checker.Reach.reachable_from_initial c in
+      let reach =
+        Cr_checker.Reach.forward_csr ~succ:succ_c
+          ~seeds:(Array.to_list (Explicit.initials c))
+      in
       iter_classified classified (fun i j cls ->
           let is_exact = match cls with Some Exact -> true | _ -> false in
-          if reach.(i) && not is_exact then
+          if Cr_checker.Bitset.get reach i && not is_exact then
             failures := Init_edge_not_exact (i, j) :: !failures
           else
             match cls with
@@ -439,14 +536,17 @@ let everywhere_eventually_refinement ?alpha ?fair ~(c : _ Explicit.t)
                   failures := Non_exact_on_cycle (i, j) :: !failures));
   (if stats.stutter > 0 then
      Cr_obs.Obs.span "refine.stutter_check" @@ fun () ->
-     let stutter_adj = stutter_adjacency n classified in
+     let stutter_adj = stutter_csr n classified in
      let on_stutter_cycle =
        match fair with
        | None ->
-           let stutter_scc = Cr_checker.Scc.compute stutter_adj in
+           let stutter_scc = Cr_checker.Scc.compute_csr stutter_adj in
            fun i -> Cr_checker.Scc.on_cycle stutter_scc i
        | Some tables ->
-           let analysis = Fair.analyze tables ~succ:stutter_adj ~mask:all_mask in
+           let analysis =
+             Fair.analyze_csr tables ~succ:stutter_adj
+               ~mask:(Cr_checker.Bitset.full n)
+           in
            fun i -> analysis.Fair.fair.(i)
      in
      for i = 0 to n - 1 do

@@ -9,7 +9,14 @@
     section 2).
 
     The checkers are sound: [holds = true] implies the trace-theoretic
-    relation. *)
+    relation.
+
+    Verdicts are memoized in a content-addressed {!Check_cache} keyed on
+    the relation, both systems' exact structure, the abstraction and the
+    fairness tables — disable with [CR_CHECK_CACHE=0], audit with
+    [CR_CHECK_PARANOID=1].  The classification sweep is domain-chunked
+    under [CR_JOBS] ({!Cr_semantics.Par}) with job-count-independent
+    results. *)
 
 type edge_class =
   | Stutter  (** the abstract image does not move *)
@@ -50,6 +57,9 @@ type report = {
   holds : bool;
   stats : stats;
   failures : failure list;  (** truncated to the first few *)
+  total_failures : int;
+      (** number of failures found before truncation; {!pp_report} says
+          "showing k of n" whenever [failures] is the shorter list *)
   concrete : string;
   abstract : string;
   relation : string;

@@ -18,7 +18,12 @@ open Cr_semantics
    any path inside L from a reachable state extends a prefix of A from an
    initial state, i.e. is a suffix of a computation of A.  Conversely a
    cycle outside Good yields a computation that never acquires a correct
-   suffix, as does a bad terminal. *)
+   suffix, as does a bad terminal.
+
+   All sweeps run over the systems' flat CSR graphs and packed bitsets;
+   the bad-seed sweep is domain-chunked under the CR_JOBS contract of
+   [Par], and verdicts are memoized in a content-addressed
+   [Check_cache]. *)
 
 type report = {
   holds : bool;
@@ -54,28 +59,39 @@ let pp_report fmt r =
       | None, None -> "no witness?")
 
 (* Find one cycle inside the masked region, as a witness. *)
-let find_cycle_within succ mask =
-  let n = Array.length succ in
-  let restricted = Cr_checker.Scc.restrict succ mask in
-  let scc = Cr_checker.Scc.compute restricted in
+let find_cycle_within (succ : Cr_checker.Csr.t) (mask : Cr_checker.Bitset.t) =
+  let n = Cr_checker.Csr.num_states succ in
+  let restricted = Cr_checker.Csr.restrict succ mask in
+  let scc = Cr_checker.Scc.compute_csr restricted in
   let witness = ref None in
   for i = n - 1 downto 0 do
-    if mask.(i) && Cr_checker.Scc.on_cycle scc i then witness := Some i
+    if Cr_checker.Bitset.get mask i && Cr_checker.Scc.on_cycle scc i then
+      witness := Some i
   done;
   match !witness with
   | None -> None
   | Some i ->
       (* walk within the SCC back to i *)
       let comp = scc.Cr_checker.Scc.component.(i) in
-      let in_comp = Array.init n (fun j -> mask.(j) && scc.Cr_checker.Scc.component.(j) = comp) in
-      let comp_succ = Cr_checker.Scc.restrict restricted in_comp in
+      let in_comp = Cr_checker.Bitset.create n in
+      for j = 0 to n - 1 do
+        if
+          Cr_checker.Bitset.get mask j
+          && scc.Cr_checker.Scc.component.(j) = comp
+        then Cr_checker.Bitset.set in_comp j
+      done;
+      let comp_succ = Cr_checker.Csr.restrict restricted in_comp in
       let next =
-        Array.to_list comp_succ.(i) |> function [] -> None | j :: _ -> Some j
+        if Cr_checker.Csr.degree comp_succ i > 0 then
+          Some (Cr_checker.Csr.kth comp_succ i 0)
+        else None
       in
       (match next with
       | None -> Some [ i ]
       | Some j -> (
-          match Cr_checker.Paths.shortest_path ~succ:comp_succ ~src:j ~dst:i with
+          match
+            Cr_checker.Paths.shortest_path_csr ~succ:comp_succ ~src:j ~dst:i
+          with
           | Some p -> Some (i :: p)
           | None -> Some [ i ]))
 
@@ -93,125 +109,200 @@ let find_cycle_within succ mask =
 let c_runs = Cr_obs.Obs.counter "stabilize.runs"
 let c_bad_seeds = Cr_obs.Obs.counter "stabilize.bad_seeds"
 
+(* Verdict cache (see [Check_cache]): keyed on both systems' exact
+   structure, the abstraction, the fairness tables and the stutter
+   mode. *)
+let check_cache : report Check_cache.t = Check_cache.create ()
+
+let same_report r1 r2 = { r1 with cost = None } = { r2 with cost = None }
+
 let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
     ~(a : _ Explicit.t) () =
-  Cr_obs.Obs.span "stabilize.check" @@ fun () ->
-  let cost_before =
-    if Cr_obs.Obs.tracking () then Some (Cr_obs.Obs.domain_snapshot ())
-    else None
-  in
   let alpha =
     match alpha with
     | Some t -> t
     | None -> Abstraction.identity_table (Explicit.num_states c)
   in
-  let legit = Cr_checker.Reach.reachable_from_initial a in
-  let n = Explicit.num_states c in
-  let bad_seed = Array.make n false in
   let stutter_ok =
     match stutter with `Allow -> true | `Forbid -> false
   in
-  Cr_obs.Obs.span "stabilize.bad_seeds" (fun () ->
-      Explicit.iter_edges c (fun i j ->
-          let ai = alpha.(i) and aj = alpha.(j) in
-          let fine =
-            legit.(ai) && legit.(aj)
-            && (Explicit.has_edge a ai aj || (stutter_ok && ai = aj))
+  let check () =
+    Cr_obs.Obs.span "stabilize.check" @@ fun () ->
+    let cost_before =
+      if Cr_obs.Obs.tracking () then Some (Cr_obs.Obs.domain_snapshot ())
+      else None
+    in
+    let legit = Cr_checker.Reach.reachable_from_initial a in
+    let n = Explicit.num_states c in
+    let succ_c = Explicit.csr c in
+    let rp = Cr_checker.Csr.row_ptr succ_c
+    and tg = Cr_checker.Csr.targets succ_c in
+    let bad_seed = Cr_checker.Bitset.create n in
+    Cr_obs.Obs.span "stabilize.bad_seeds" (fun () ->
+        (* Row range [lo, hi): marks only its own sources.  Chunk
+           boundaries are byte-aligned (multiples of 8), so parallel
+           chunks write disjoint bytes of the bitset (see [Bitset]). *)
+        let sweep lo hi =
+          for i = lo to hi - 1 do
+            let klo = rp.(i) and khi = rp.(i + 1) in
+            if khi > klo then begin
+              let ai = alpha.(i) in
+              let k = ref klo in
+              let bad = ref false in
+              while (not !bad) && !k < khi do
+                let aj = alpha.(tg.(!k)) in
+                let fine =
+                  Cr_checker.Bitset.get legit ai
+                  && Cr_checker.Bitset.get legit aj
+                  && (Explicit.has_edge a ai aj || (stutter_ok && ai = aj))
+                in
+                if not fine then bad := true;
+                incr k
+              done;
+              if !bad then Cr_checker.Bitset.set bad_seed i
+            end
+          done
+        in
+        let jobs = min (Par.current_jobs ()) (max n 1) in
+        if jobs <= 1 then sweep 0 n
+        else begin
+          let nbytes = (n + 7) / 8 in
+          let boundary d = min n (d * nbytes / jobs * 8) in
+          let chunks =
+            Array.init jobs (fun d -> (boundary d, boundary (d + 1)))
           in
-          if not fine then bad_seed.(i) <- true));
-  (if stutter_ok then begin
-     (* pure-stutter cycles must sit at an [a]-terminal image *)
-     let stutter_succ = Array.make n [] in
-     Explicit.iter_edges c (fun i j ->
-         if alpha.(i) = alpha.(j) then stutter_succ.(i) <- j :: stutter_succ.(i));
-     let sscc = Cr_checker.Scc.compute (Array.map Array.of_list stutter_succ) in
-     for i = 0 to n - 1 do
-       if Cr_checker.Scc.on_cycle sscc i
-          && not (Explicit.is_terminal a alpha.(i))
-       then bad_seed.(i) <- true
-     done
-   end);
-  let bad_terminal = ref None in
-  for i = 0 to n - 1 do
-    if Explicit.is_terminal c i then
-      let ai = alpha.(i) in
-      if not (legit.(ai) && Explicit.is_terminal a ai) then begin
-        bad_seed.(i) <- true;
-        if !bad_terminal = None then bad_terminal := Some i
-      end
-  done;
-  let succ_c = Cr_checker.Reach.of_explicit c in
-  let seeds = Cr_checker.Reach.members bad_seed in
-  if Cr_obs.Obs.tracking () then begin
-    Cr_obs.Obs.incr c_runs;
-    Cr_obs.Obs.add c_bad_seeds (List.length seeds)
-  end;
-  let reaches_bad =
-    Cr_obs.Obs.span "stabilize.reach_bad" (fun () ->
-        Cr_checker.Reach.backward_of_explicit c ~seeds)
-  in
-  let good = Array.map not reaches_bad in
-  (* A C-terminal outside Good is itself a bad seed; find one if any. *)
-  let terminal_outside =
-    match !bad_terminal with
-    | Some i -> Some i
-    | None ->
-        let w = ref None in
-        for i = n - 1 downto 0 do
-          if (not good.(i)) && Explicit.is_terminal c i then w := Some i
-        done;
-        !w
-  in
-  let cycle, depths =
-    Cr_obs.Obs.span "stabilize.divergence_check" @@ fun () ->
-    match fair with
-    | None -> (
-        (* The recovery-depth DFS doubles as the cycle test: it raises
-           [Cyclic] iff the masked region has one, so the SCC-based
-           witness search only runs on failure. *)
-        match
-          Cr_checker.Paths.longest_within ~succ:succ_c ~mask:reaches_bad
-        with
-        | depths -> (None, Some depths)
-        | exception Cr_checker.Paths.Cyclic ->
-            (find_cycle_within succ_c reaches_bad, None))
-    | Some tables -> (
-        match (Fair.analyze tables ~succ:succ_c ~mask:reaches_bad).Fair.sccs with
-        | [] -> (None, None)
-        | scc :: _ -> (Some scc, None))
-  in
-  let holds = cycle = None && terminal_outside = None in
-  let worst =
-    if holds then
-      (* Under weak fairness the non-converged region may still contain
-         (unfair) cycles; recovery is then finite but unbounded. *)
-      match depths with
-      | Some depths -> Some (Array.fold_left max 0 depths)
+          ignore
+            (Par.map_array (fun (lo, hi) -> sweep lo hi) chunks : unit array)
+        end);
+    (if stutter_ok then begin
+       (* pure-stutter cycles must sit at an [a]-terminal image *)
+       let srow_ptr = Array.make (n + 1) 0 in
+       Explicit.iter_edges c (fun i j ->
+           if alpha.(i) = alpha.(j) then
+             srow_ptr.(i + 1) <- srow_ptr.(i + 1) + 1);
+       for i = 0 to n - 1 do
+         srow_ptr.(i + 1) <- srow_ptr.(i + 1) + srow_ptr.(i)
+       done;
+       let stargets = Array.make srow_ptr.(n) 0 in
+       let fill = Array.copy srow_ptr in
+       Explicit.iter_edges c (fun i j ->
+           if alpha.(i) = alpha.(j) then begin
+             stargets.(fill.(i)) <- j;
+             fill.(i) <- fill.(i) + 1
+           end);
+       let sscc =
+         Cr_checker.Scc.compute_csr
+           (Cr_checker.Csr.unsafe_of_raw ~row_ptr:srow_ptr ~targets:stargets)
+       in
+       for i = 0 to n - 1 do
+         if Cr_checker.Scc.on_cycle sscc i
+            && not (Explicit.is_terminal a alpha.(i))
+         then Cr_checker.Bitset.set bad_seed i
+       done
+     end);
+    let bad_terminal = ref None in
+    for i = 0 to n - 1 do
+      if Explicit.is_terminal c i then
+        let ai = alpha.(i) in
+        if
+          not (Cr_checker.Bitset.get legit ai && Explicit.is_terminal a ai)
+        then begin
+          Cr_checker.Bitset.set bad_seed i;
+          if !bad_terminal = None then bad_terminal := Some i
+        end
+    done;
+    let seeds = Cr_checker.Bitset.members bad_seed in
+    if Cr_obs.Obs.tracking () then begin
+      Cr_obs.Obs.incr c_runs;
+      Cr_obs.Obs.add c_bad_seeds (List.length seeds)
+    end;
+    let reaches_bad =
+      Cr_obs.Obs.span "stabilize.reach_bad" (fun () ->
+          Cr_checker.Reach.backward_of_explicit c ~seeds)
+    in
+    let good = Cr_checker.Bitset.complement reaches_bad in
+    (* A C-terminal outside Good is itself a bad seed; find one if any. *)
+    let terminal_outside =
+      match !bad_terminal with
+      | Some i -> Some i
+      | None ->
+          let w = ref None in
+          for i = n - 1 downto 0 do
+            if Cr_checker.Bitset.get reaches_bad i && Explicit.is_terminal c i
+            then w := Some i
+          done;
+          !w
+    in
+    let cycle, depths =
+      Cr_obs.Obs.span "stabilize.divergence_check" @@ fun () ->
+      match fair with
       | None -> (
+          (* The recovery-depth DFS doubles as the cycle test: it raises
+             [Cyclic] iff the masked region has one, so the SCC-based
+             witness search only runs on failure. *)
           match
-            Cr_checker.Paths.longest_within ~succ:succ_c ~mask:reaches_bad
+            Cr_checker.Paths.longest_within_csr ~succ:succ_c
+              ~mask:reaches_bad
           with
-          | depths -> Some (Array.fold_left max 0 depths)
-          | exception Cr_checker.Paths.Cyclic -> None)
-    else None
+          | depths -> (None, Some depths)
+          | exception Cr_checker.Paths.Cyclic ->
+              (find_cycle_within succ_c reaches_bad, None))
+      | Some tables -> (
+          match
+            (Fair.analyze_csr tables ~succ:succ_c ~mask:reaches_bad)
+              .Fair.sccs
+          with
+          | [] -> (None, None)
+          | scc :: _ -> (Some scc, None))
+    in
+    let holds = cycle = None && terminal_outside = None in
+    let worst =
+      if holds then
+        (* Under weak fairness the non-converged region may still contain
+           (unfair) cycles; recovery is then finite but unbounded. *)
+        match depths with
+        | Some depths -> Some (Array.fold_left max 0 depths)
+        | None -> (
+            match
+              Cr_checker.Paths.longest_within_csr ~succ:succ_c
+                ~mask:reaches_bad
+            with
+            | depths -> Some (Array.fold_left max 0 depths)
+            | exception Cr_checker.Paths.Cyclic -> None)
+      else None
+    in
+    {
+      holds;
+      concrete = Explicit.name c;
+      abstract = Explicit.name a;
+      legitimate = Cr_checker.Bitset.count legit;
+      good = Cr_checker.Bitset.count good;
+      states = n;
+      worst_case_recovery = worst;
+      bad_cycle = cycle;
+      bad_terminal = terminal_outside;
+      good_mask = Cr_checker.Bitset.to_bool_array good;
+      cost =
+        Option.map
+          (fun before ->
+            Cr_obs.Obs.diff ~before ~after:(Cr_obs.Obs.domain_snapshot ()))
+          cost_before;
+    }
   in
-  {
-    holds;
-    concrete = Explicit.name c;
-    abstract = Explicit.name a;
-    legitimate = Cr_checker.Reach.count legit;
-    good = Cr_checker.Reach.count good;
-    states = n;
-    worst_case_recovery = worst;
-    bad_cycle = cycle;
-    bad_terminal = terminal_outside;
-    good_mask = good;
-    cost =
-      Option.map
-        (fun before ->
-          Cr_obs.Obs.diff ~before ~after:(Cr_obs.Obs.domain_snapshot ()))
-        cost_before;
-  }
+  if not (Check_cache.enabled ()) then check ()
+  else begin
+    let fp = Check_cache.Fp.create () in
+    Check_cache.Fp.add_explicit fp c;
+    Check_cache.Fp.add_explicit fp a;
+    Check_cache.Fp.add_int_array fp alpha;
+    Check_cache.Fp.add_option_int_array_array fp fair;
+    Check_cache.Fp.add_int fp (if stutter_ok then 1 else 0);
+    let key =
+      Printf.sprintf "stab|%s|%s|%s" (Explicit.name c) (Explicit.name a)
+        (Check_cache.Fp.to_hex fp)
+    in
+    Check_cache.find_or_check check_cache ~key ~same:same_report ~check
+  end
 
 (* Self-stabilization: A is stabilizing to A. *)
 let self_stabilizing (a : _ Explicit.t) = stabilizing_to ~c:a ~a ()

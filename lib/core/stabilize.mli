@@ -2,7 +2,12 @@
 
     [C] is stabilizing to [A] iff every computation of [C] has a suffix
     that is a suffix of some computation of [A] starting at an initial
-    state of [A]. *)
+    state of [A].
+
+    Verdicts are memoized in a content-addressed {!Check_cache}
+    ([CR_CHECK_CACHE=0] disables, [CR_CHECK_PARANOID=1] audits every
+    hit); the bad-seed sweep is domain-chunked under [CR_JOBS] with a
+    job-count-independent result. *)
 
 type report = {
   holds : bool;

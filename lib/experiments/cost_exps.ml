@@ -85,9 +85,11 @@ let mean_on_explicit ?(samples = 200) ~seed e ~converged_idx =
       if converged_idx i then Some k
       else if k > 1_000_000 then None
       else
-        match Cr_semantics.Explicit.successors e i with
-        | [||] -> None
-        | js -> go js.(Random.State.int rng (Array.length js)) (k + 1)
+        match Cr_semantics.Explicit.out_degree e i with
+        | 0 -> None
+        | d ->
+            go (Cr_semantics.Explicit.successor e i (Random.State.int rng d))
+              (k + 1)
     in
     match go start 0 with
     | Some k ->

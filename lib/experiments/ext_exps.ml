@@ -95,19 +95,18 @@ let rw_experiment n =
   let reach = Cr_checker.Reach.reachable_from_initial e in
   let init_ok = ref true in
   Cr_semantics.Explicit.iter_edges e (fun i j ->
-      if reach.(i) then begin
+      if Cr_checker.Bitset.get reach i then begin
         let ai = ac.(i) and aj = ac.(j) in
         if not (ai = aj || Cr_semantics.Explicit.has_edge d3 ai aj) then
           init_ok := false
       end);
   let tokens_ok = ref true in
-  Array.iteri
-    (fun i r ->
-      if r then
-        let s = Cr_semantics.Explicit.state e i in
-        if Btr.token_count n (Rw_atomicity.to_tokens n s) <> 1 then
-          tokens_ok := false)
-    reach;
+  List.iter
+    (fun i ->
+      let s = Cr_semantics.Explicit.state e i in
+      if Btr.token_count n (Rw_atomicity.to_tokens n s) <> 1 then
+        tokens_ok := false)
+    (Cr_checker.Bitset.members reach);
   {
     n;
     states = Cr_semantics.Explicit.num_states e;
@@ -138,7 +137,7 @@ let hitting ~name ~(mk : int -> Program.t)
   let succ = Cr_checker.Reach.of_explicit e in
   let pred = Cr_checker.Reach.pred_of_explicit e in
   let ex =
-    Cr_checker.Hitting.expected ~succ ~pred
+    Cr_checker.Hitting.expected_csr ~succ ~pred
       ~target:r.Cr_core.Stabilize.good_mask ()
   in
   {

@@ -159,3 +159,27 @@ let names () = List.map (fun e -> e.name) entries
 let explicit e n = Program.to_explicit (e.program n)
 
 let spec_explicit e n = Program.to_explicit (e.spec n)
+
+(* Verdict routing.  Every driver (crcheck, the report tables, tests)
+   that asks the same registry question goes through these, so the
+   content-addressed Check_cache inside Refine/Stabilize serves one
+   computed verdict to all of them. *)
+
+let alpha_table e n =
+  let ep = explicit e n and spec = spec_explicit e n in
+  Cr_semantics.Abstraction.tabulate (e.alpha n) ep spec
+
+let stabilization ?fair e n =
+  let ep = explicit e n and spec = spec_explicit e n in
+  let alpha = Cr_semantics.Abstraction.tabulate (e.alpha n) ep spec in
+  Cr_core.Stabilize.stabilizing_to ~alpha ?fair ~c:ep ~a:spec ()
+
+let refinements e n =
+  let ep = explicit e n and spec = spec_explicit e n in
+  let alpha = Cr_semantics.Abstraction.tabulate (e.alpha n) ep spec in
+  [
+    ("init", Cr_core.Refine.init_refinement ~alpha ~c:ep ~a:spec ());
+    ("everywhere", Cr_core.Refine.everywhere_refinement ~alpha ~c:ep ~a:spec ());
+    ("convergence", Cr_core.Refine.convergence_refinement ~alpha ~c:ep ~a:spec ());
+    ("ee", Cr_core.Refine.everywhere_eventually_refinement ~alpha ~c:ep ~a:spec ());
+  ]

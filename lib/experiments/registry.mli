@@ -26,3 +26,17 @@ val explicit : entry -> int -> Layout.state Cr_semantics.Explicit.t
 
 val spec_explicit : entry -> int -> Layout.state Cr_semantics.Explicit.t
 (** Same for the entry's specification. *)
+
+val alpha_table : entry -> int -> int array
+(** The entry's abstraction tabulated between program and spec at ring
+    size [n]. *)
+
+val stabilization :
+  ?fair:Cr_core.Fair.tables -> entry -> int -> Cr_core.Stabilize.report
+(** [stabilizing_to] for the entry at ring size [n].  Routed through the
+    process-wide {!Cr_core.Check_cache}: every driver asking the same
+    registry question shares one computed verdict. *)
+
+val refinements : entry -> int -> (string * Cr_core.Refine.report) list
+(** The four refinement relations ("init" / "everywhere" / "convergence"
+    / "ee") for the entry at ring size [n], through the same cache. *)

@@ -14,9 +14,9 @@ open Cr_guarded
 
 (* minimal number of faults needed to reach each state from the sources;
    -1 when unreachable. *)
-let min_faults ~(succ : int array array) ~(fault_succ : int array array)
+let min_faults ~(succ : Cr_checker.Csr.t) ~(fault_succ : int array array)
     ~(sources : int list) : int array =
-  let n = Array.length succ in
+  let n = Cr_checker.Csr.num_states succ in
   let dist = Array.make n (-1) in
   let dq = Queue.create () and dq1 = Queue.create () in
   (* layered BFS: process all 0-cost closure of the current layer, then
@@ -34,13 +34,11 @@ let min_faults ~(succ : int array array) ~(fault_succ : int array array)
     (* 0-cost closure at the current fault count *)
     while not (Queue.is_empty dq) do
       let i = Queue.pop dq in
-      Array.iter
-        (fun j ->
+      Cr_checker.Csr.iter_row succ i (fun j ->
           if dist.(j) = -1 then begin
             dist.(j) <- !layer;
             Queue.push j dq
-          end)
-        succ.(i);
+          end);
       Array.iter
         (fun j -> if dist.(j) = -1 then Queue.push j dq1)
         fault_succ.(i)
@@ -88,18 +86,17 @@ let analyze ?(max_k = 8) (p : Program.t)
         |> List.map (Cr_semantics.Explicit.find e)
         |> Array.of_list)
   in
+  let n = Cr_semantics.Explicit.num_states e in
   let sources =
-    List.filteri (fun i _ -> good.(i))
-      (List.init (Array.length succ) (fun i -> i))
+    List.filteri (fun i _ -> good.(i)) (List.init n (fun i -> i))
   in
   let dist = min_faults ~succ ~fault_succ ~sources in
-  let not_good = Array.map not good in
-  let depth = Cr_checker.Paths.longest_within ~succ ~mask:not_good in
+  let not_good = Cr_checker.Bitset.of_bool_array (Array.map not good) in
+  let depth = Cr_checker.Paths.longest_within_csr ~succ ~mask:not_good in
   let expected =
-    Cr_checker.Hitting.expected ~succ
+    Cr_checker.Hitting.expected_csr ~succ
       ~pred:(Cr_checker.Reach.pred_of_explicit e) ~target:good ()
   in
-  let n = Array.length succ in
   let rec rows k prev_span acc =
     if k > max_k then List.rev acc
     else begin

@@ -5,12 +5,13 @@
 open Cr_guarded
 
 val min_faults :
-  succ:int array array ->
+  succ:Cr_checker.Csr.t ->
   fault_succ:int array array ->
   sources:int list ->
   int array
 (** 0-1 BFS: minimal number of fault transitions needed to reach each
-    state from the sources ([-1] = unreachable). *)
+    state from the sources ([-1] = unreachable).  Program transitions
+    come from the system's CSR; fault rows are ad-hoc arrays. *)
 
 type row = {
   k : int;

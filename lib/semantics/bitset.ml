@@ -1,0 +1,99 @@
+(* Packed boolean masks over [Bytes].
+
+   The checker kernels carry one mask per sweep (reachable sets, converged
+   regions, SCC restrictions); packing them 8x denser than [bool array]
+   keeps whole masks of the larger rings inside L1/L2 and makes
+   complement/equality byte-wide operations.
+
+   Invariant: the unused trailing bits of the last byte are always zero,
+   so [count]/[equal] can work on raw bytes without masking.
+
+   Concurrency: [set] is a read-modify-write on one byte, so two domains
+   may only write a bitset concurrently when their index ranges touch
+   disjoint bytes — chunk boundaries must be multiples of 8 (see the
+   bad-seed sweep in [Cr_core.Stabilize]). *)
+
+type t = { len : int; bits : Bytes.t }
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create";
+  { len; bits = Bytes.make ((len + 7) lsr 3) '\000' }
+
+let length t = t.len
+
+let check t i name =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Bitset.%s: index %d out of [0, %d)" name i t.len)
+
+let get t i =
+  check t i "get";
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i "set";
+  let k = i lsr 3 in
+  Bytes.unsafe_set t.bits k
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits k) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i "clear";
+  let k = i lsr 3 in
+  Bytes.unsafe_set t.bits k
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits k) land lnot (1 lsl (i land 7))))
+
+(* Zero the unused high bits of the last byte (after byte-wide writes). *)
+let mask_tail t =
+  let r = t.len land 7 in
+  if r <> 0 && Bytes.length t.bits > 0 then begin
+    let last = Bytes.length t.bits - 1 in
+    Bytes.unsafe_set t.bits last
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits last) land ((1 lsl r) - 1)))
+  end
+
+let full len =
+  let t = { len; bits = Bytes.make ((len + 7) lsr 3) '\255' } in
+  mask_tail t;
+  t
+
+let popcount_table =
+  lazy
+    (Array.init 256 (fun b ->
+         let c = ref 0 in
+         for k = 0 to 7 do
+           if b land (1 lsl k) <> 0 then incr c
+         done;
+         !c))
+
+let count t =
+  let table = Lazy.force popcount_table in
+  let acc = ref 0 in
+  for k = 0 to Bytes.length t.bits - 1 do
+    acc := !acc + table.(Char.code (Bytes.unsafe_get t.bits k))
+  done;
+  !acc
+
+let members t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    if get t i then acc := i :: !acc
+  done;
+  !acc
+
+let complement t =
+  let out = { len = t.len; bits = Bytes.create (Bytes.length t.bits) } in
+  for k = 0 to Bytes.length t.bits - 1 do
+    Bytes.unsafe_set out.bits k
+      (Char.unsafe_chr (lnot (Char.code (Bytes.unsafe_get t.bits k)) land 0xff))
+  done;
+  mask_tail out;
+  out
+
+let of_bool_array a =
+  let t = create (Array.length a) in
+  Array.iteri (fun i b -> if b then set t i) a;
+  t
+
+let to_bool_array t = Array.init t.len (fun i -> get t i)
+
+let equal t1 t2 = t1.len = t2.len && Bytes.equal t1.bits t2.bits

@@ -1,0 +1,36 @@
+(** Packed boolean masks over [Bytes] — 8x denser than [bool array].
+
+    Used by the CSR checker kernels for reachable sets, converged regions
+    and subgraph restrictions.  The unused trailing bits of the last byte
+    are kept zero, so {!count} and {!equal} are byte-wide.
+
+    {!set} is a read-modify-write of one byte: concurrent writers must
+    own disjoint {e byte} ranges, i.e. parallel chunk boundaries over a
+    shared bitset must be multiples of 8. *)
+
+type t
+
+val create : int -> t
+(** All-false mask of the given length. *)
+
+val full : int -> t
+(** All-true mask of the given length. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val count : t -> int
+(** Number of set bits. *)
+
+val members : t -> int list
+(** Indices of the set bits, ascending. *)
+
+val complement : t -> t
+(** Fresh mask with every bit flipped. *)
+
+val of_bool_array : bool array -> t
+val to_bool_array : t -> bool array
+
+val equal : t -> t -> bool

@@ -80,10 +80,10 @@ let random_walk expl ~rng ~start ~max_len =
   let rec go acc i n =
     if n >= max_len then List.rev (i :: acc)
     else
-      match Explicit.successors expl i with
-      | [||] -> List.rev (i :: acc)
-      | js ->
-          let j = js.(Random.State.int rng (Array.length js)) in
+      match Explicit.out_degree expl i with
+      | 0 -> List.rev (i :: acc)
+      | d ->
+          let j = Explicit.successor expl i (Random.State.int rng d) in
           go (i :: acc) j (n + 1)
   in
   go [] start 0

@@ -1,5 +1,5 @@
 (* Indexed explicit-state representation of a system.  States are numbered
-   0..n-1; the transition relation is an adjacency array with self-loops
+   0..n-1; the transition relation is a CSR graph ([Csr.t]) with self-loops
    removed (no-op steps are stuttering, dropped per DESIGN.md section 2)
    and duplicate edges deduplicated.
 
@@ -11,10 +11,11 @@
    Compilation is domain-chunked: the state range is split into [jobs]
    contiguous chunks (the CR_JOBS contract of [Par], default 1 = the
    sequential path) and each domain fills its slice of a preallocated
-   row array.  Row i is computed independently of every other row, so
-   the merged result is identical for any job count.
+   row array, flattened once into the CSR form.  Row i is computed
+   independently of every other row, so the merged result is identical
+   for any job count.
 
-   Predecessor rows are lazy: [transpose] runs on the first
+   The predecessor CSR is lazy: [Csr.transpose] runs on the first
    [predecessors]/backward use, because the refinement checkers never
    look at predecessors.  The thunk is an [Atomic]: if two domains race
    on the first force, both compute the same deterministic transpose and
@@ -30,13 +31,13 @@ let c_states = Cr_obs.Obs.counter "explicit.states"
 let c_transitions = Cr_obs.Obs.counter "explicit.transitions"
 let c_largest = Cr_obs.Obs.counter ~kind:Cr_obs.Obs.Max "explicit.largest"
 
-type pred = Pred_todo | Pred of int array array
+type pred = Pred_todo | Pred of Csr.t
 
 type 'a t = {
   name : string;
   states : 'a array;
   index : 'a -> int option;  (* inverse of [states.(_)] *)
-  succ : int array array;  (* each row sorted ascending, deduplicated *)
+  succ : Csr.t;  (* each row sorted ascending, deduplicated *)
   pred : pred Atomic.t;  (* transposed from [succ] on first use *)
   is_initial : bool array;
   initials : int array;
@@ -62,30 +63,29 @@ let find t s =
   | Some i -> i
   | None -> raise (Unknown_state t.name)
 
-let successors t i = t.succ.(i)
+(* Hands out the internal CSR directly — every checker kernel consumes
+   this view without a copy. *)
+let csr t = t.succ
+
+let successors t i = Csr.row t.succ i
+
+let out_degree t i = Csr.degree t.succ i
+
+let successor t i k = Csr.kth t.succ i k
 
 let is_initial t i = t.is_initial.(i)
 
 let initials t = t.initials
 
-let is_terminal t i = Array.length t.succ.(i) = 0
+let is_terminal t i = Csr.degree t.succ i = 0
 
 (* Successor rows are sorted, so membership is a binary search — this is
    the innermost operation of every refinement/stabilization checker. *)
-let has_edge t i j =
-  let a = t.succ.(i) in
-  let lo = ref 0 and hi = ref (Array.length a) in
-  while !hi - !lo > 1 do
-    let mid = (!lo + !hi) / 2 in
-    if a.(mid) <= j then lo := mid else hi := mid
-  done;
-  !hi > !lo && a.(!lo) = j
+let has_edge t i j = Csr.mem t.succ i j
 
-let num_transitions t =
-  Array.fold_left (fun acc a -> acc + Array.length a) 0 t.succ
+let num_transitions t = Csr.num_edges t.succ
 
-let iter_edges t f =
-  Array.iteri (fun i js -> Array.iter (fun j -> f i j) js) t.succ
+let iter_edges t f = Csr.iter_edges t.succ f
 
 let fold_edges t f acc =
   let acc = ref acc in
@@ -96,43 +96,6 @@ let sorted_dedup l =
   let l = List.sort_uniq compare l in
   Array.of_list l
 
-(* Union of two sorted deduplicated rows, preserving both invariants. *)
-let merge_sorted a b =
-  let la = Array.length a and lb = Array.length b in
-  if la = 0 then b
-  else if lb = 0 then a
-  else begin
-    let out = Array.make (la + lb) 0 in
-    let i = ref 0 and j = ref 0 and k = ref 0 in
-    while !i < la && !j < lb do
-      let x = a.(!i) and y = b.(!j) in
-      let v = if x <= y then x else y in
-      if x <= v then incr i;
-      if y <= v then incr j;
-      out.(!k) <- v;
-      incr k
-    done;
-    while !i < la do out.(!k) <- a.(!i); incr i; incr k done;
-    while !j < lb do out.(!k) <- b.(!j); incr j; incr k done;
-    if !k = la + lb then out else Array.sub out 0 !k
-  end
-
-let transpose n succ =
-  let deg = Array.make n 0 in
-  Array.iter (fun js -> Array.iter (fun j -> deg.(j) <- deg.(j) + 1) js) succ;
-  let preds = Array.init n (fun j -> Array.make deg.(j) 0) in
-  let fill = Array.make n 0 in
-  (* visiting sources in ascending order keeps each row sorted *)
-  Array.iteri
-    (fun i js ->
-      Array.iter
-        (fun j ->
-          preds.(j).(fill.(j)) <- i;
-          fill.(j) <- fill.(j) + 1)
-        js)
-    succ;
-  preds
-
 let lazy_pred () = Atomic.make Pred_todo
 
 (* No counter or span in here: a benign cross-domain race may compute the
@@ -142,11 +105,13 @@ let force_pred t =
   match Atomic.get t.pred with
   | Pred p -> p
   | Pred_todo ->
-      let p = transpose (Array.length t.states) t.succ in
+      let p = Csr.transpose t.succ in
       if Atomic.compare_and_set t.pred Pred_todo (Pred p) then p
       else ( match Atomic.get t.pred with Pred p -> p | Pred_todo -> p)
 
-let predecessors t i = (force_pred t).(i)
+let pred_csr = force_pred
+
+let predecessors t i = Csr.row (force_pred t) i
 
 let pred_forced t =
   match Atomic.get t.pred with Pred _ -> true | Pred_todo -> false
@@ -190,9 +155,10 @@ let of_edge_lists ~name ~states ~pp_state ~is_initial ~succ_lists =
   Cr_obs.Obs.span "explicit.of_edge_lists" @@ fun () ->
   let index = hashtbl_index states name in
   let succ =
-    Array.mapi
-      (fun i js -> sorted_dedup (List.filter (fun j -> j <> i) js))
-      succ_lists
+    Csr.of_rows
+      (Array.mapi
+         (fun i js -> sorted_dedup (List.filter (fun j -> j <> i) js))
+         succ_lists)
   in
   let is_initial_arr = Array.map is_initial states in
   record_built
@@ -204,33 +170,36 @@ let of_edge_lists ~name ~states ~pp_state ~is_initial ~succ_lists =
    builders can allocate private scratch once per domain; the returned
    function must compute row i from i (and read-only captures) alone.
    With jobs = 1 — the default — no chunking happens and the code path
-   is a plain [Array.init]. *)
-let build_rows ~num_states (mk_row : unit -> int -> int array) :
-    int array array =
+   is a plain [Array.init].  The per-row arrays are transient: they are
+   flattened into one CSR and dropped. *)
+let build_rows ~num_states (mk_row : unit -> int -> int array) : Csr.t =
   let jobs = min (Par.current_jobs ()) num_states in
-  if jobs <= 1 then begin
-    let row = mk_row () in
-    Array.init num_states row
-  end
-  else begin
-    let out = Array.make num_states [||] in
-    let chunks =
-      Array.init jobs (fun d ->
-          (d * num_states / jobs, (d + 1) * num_states / jobs))
-    in
-    (* Chunks are disjoint contiguous ranges, so each slot of [out] has a
-       unique writer; [Par] joins its domains before returning. *)
-    ignore
-      (Par.map_array
-         (fun (lo, hi) ->
-           let row = mk_row () in
-           for i = lo to hi - 1 do
-             out.(i) <- row i
-           done)
-         chunks
-        : unit array);
-    out
-  end
+  let rows =
+    if jobs <= 1 then begin
+      let row = mk_row () in
+      Array.init num_states row
+    end
+    else begin
+      let out = Array.make num_states [||] in
+      let chunks =
+        Array.init jobs (fun d ->
+            (d * num_states / jobs, (d + 1) * num_states / jobs))
+      in
+      (* Chunks are disjoint contiguous ranges, so each slot of [out] has a
+         unique writer; [Par] joins its domains before returning. *)
+      ignore
+        (Par.map_array
+           (fun (lo, hi) ->
+             let row = mk_row () in
+             for i = lo to hi - 1 do
+               out.(i) <- row i
+             done)
+           chunks
+          : unit array);
+      out
+    end
+  in
+  Csr.of_rows rows
 
 (* Lowest-level constructor: precomputed enumeration plus a per-chunk row
    builder.  Every row must be sorted ascending, deduplicated and free of
@@ -301,8 +270,8 @@ let same_states t1 t2 =
       Array.iteri (fun i s -> if not (s = t2.states.(i)) then ok := false) t1.states;
       !ok)
 
-(* Union of the transition relations, directly on the adjacency arrays:
-   no state re-hashing, no per-state closure lists.  Initial states come
+(* Union of the transition relations, merged row-by-row straight into one
+   flat CSR: no state re-hashing, no per-row arrays.  Initial states come
    from the left operand; predecessors stay lazy. *)
 let box ?name t1 t2 =
   if not (same_states t1 t2) then
@@ -310,16 +279,34 @@ let box ?name t1 t2 =
   Cr_obs.Obs.span "explicit.box" @@ fun () ->
   let name = match name with Some n -> n | None -> t1.name ^ "[]" ^ t2.name in
   let n = Array.length t1.states in
-  let succ = Array.init n (fun i -> merge_sorted t1.succ.(i) t2.succ.(i)) in
+  let rp1 = Csr.row_ptr t1.succ and tg1 = Csr.targets t1.succ in
+  let rp2 = Csr.row_ptr t2.succ and tg2 = Csr.targets t2.succ in
+  let row_ptr = Array.make (n + 1) 0 in
+  let out = Array.make (Array.length tg1 + Array.length tg2) 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    (* sorted-merge of the two rows, deduplicating shared edges *)
+    let p1 = ref rp1.(i) and p2 = ref rp2.(i) in
+    let h1 = rp1.(i + 1) and h2 = rp2.(i + 1) in
+    while !p1 < h1 && !p2 < h2 do
+      let x = tg1.(!p1) and y = tg2.(!p2) in
+      let v = if x <= y then x else y in
+      if x <= v then incr p1;
+      if y <= v then incr p2;
+      out.(!k) <- v;
+      incr k
+    done;
+    while !p1 < h1 do out.(!k) <- tg1.(!p1); incr p1; incr k done;
+    while !p2 < h2 do out.(!k) <- tg2.(!p2); incr p2; incr k done;
+    row_ptr.(i + 1) <- !k
+  done;
+  let targets = if !k = Array.length out then out else Array.sub out 0 !k in
+  let succ = Csr.unsafe_of_raw ~row_ptr ~targets in
   record_built { t1 with name; succ; pred = lazy_pred () }
 
-let same_transitions t1 t2 =
-  same_states t1 t2
-  && (let ok = ref true in
-      Array.iteri (fun i js -> if js <> t2.succ.(i) then ok := false) t1.succ;
-      !ok)
+let same_transitions t1 t2 = same_states t1 t2 && Csr.equal t1.succ t2.succ
 
-(* Shares the transition arrays — and the (possibly already forced)
+(* Shares the transition CSR — and the (possibly already forced)
    predecessor transpose — with the original. *)
 let with_initials t pred =
   let is_initial_arr = Array.map pred t.states in

@@ -2,7 +2,8 @@
 
     This is the workhorse representation used by the model checker and the
     refinement checkers.  States are indices [0..num_states-1]; the
-    transition relation is stored as sorted adjacency arrays.  Self-loops
+    transition relation is stored as one flat {!Csr} graph whose rows are
+    sorted ascending ({!csr} hands it out as a zero-copy view).  Self-loops
     are removed on construction: a step whose effect is the identity is
     stuttering and generates no transition (DESIGN.md, section 2).
 
@@ -73,6 +74,23 @@ val state : 'a t -> int -> 'a
 val find : 'a t -> 'a -> int
 val find_opt : 'a t -> 'a -> int option
 val successors : _ t -> int -> int array
+(** Copy of one successor row.  Hot loops should use {!csr} (zero-copy)
+    or {!out_degree}/{!successor} instead. *)
+
+val csr : _ t -> Csr.t
+(** The internal transition CSR, shared without copying.  This is what
+    every checker kernel consumes; treat it as read-only. *)
+
+val out_degree : _ t -> int -> int
+(** Number of successors of a state: O(1), no allocation. *)
+
+val successor : _ t -> int -> int -> int
+(** [successor t i k] is the [k]-th successor of state [i] (0-based):
+    O(1), no allocation. *)
+
+val pred_csr : _ t -> Csr.t
+(** The predecessor CSR (transpose of {!csr}), forced on first use and
+    cached as for {!predecessors}; shared without copying. *)
 
 val predecessors : _ t -> int -> int array
 (** Predecessor row of a state.  The transpose of the successor arrays is

@@ -54,15 +54,12 @@ let check ~(privileged : Layout.state -> int -> bool) ~(num_procs : int)
   (* liveness: in the Good subgraph, every nontrivial SCC must contain an
      acting edge for every process (each process acts on every recurrent
      behaviour) *)
-  let succ = Cr_checker.Reach.of_explicit e in
   let restricted =
-    Array.init n (fun i ->
-        if not good.(i) then [||]
-        else
-          Array.of_list
-            (List.filter (fun j -> good.(j)) (Array.to_list succ.(i))))
+    Cr_checker.Csr.restrict
+      (Cr_checker.Reach.of_explicit e)
+      (Cr_checker.Bitset.of_bool_array good)
   in
-  let scc = Cr_checker.Scc.compute restricted in
+  let scc = Cr_checker.Scc.compute_csr restricted in
   let members = Array.make scc.Cr_checker.Scc.count [] in
   for i = n - 1 downto 0 do
     if good.(i) then begin
@@ -77,8 +74,7 @@ let check ~(privileged : Layout.state -> int -> bool) ~(num_procs : int)
         let actors = Array.make num_procs false in
         List.iter
           (fun i ->
-            Array.iter
-              (fun j ->
+            Cr_checker.Csr.iter_row restricted i (fun j ->
                 if scc.Cr_checker.Scc.component.(j) = c then
                   match
                     acting_process p
@@ -86,8 +82,7 @@ let check ~(privileged : Layout.state -> int -> bool) ~(num_procs : int)
                       (Cr_semantics.Explicit.state e j)
                   with
                   | Some pr when pr >= 0 && pr < num_procs -> actors.(pr) <- true
-                  | _ -> ())
-              restricted.(i))
+                  | _ -> ()))
           states;
         if not (Array.for_all (fun b -> b) actors) then liveness := false
       end)
@@ -102,15 +97,12 @@ let i4_equal_frequency n (p : Program.t)
     (e : Layout.state Cr_semantics.Explicit.t) : bool =
   ignore p;
   let num = Cr_semantics.Explicit.num_states e in
-  let succ = Cr_checker.Reach.of_explicit e in
   let restricted =
-    Array.init num (fun i ->
-        if not good.(i) then [||]
-        else
-          Array.of_list
-            (List.filter (fun j -> good.(j)) (Array.to_list succ.(i))))
+    Cr_checker.Csr.restrict
+      (Cr_checker.Reach.of_explicit e)
+      (Cr_checker.Bitset.of_bool_array good)
   in
-  let scc = Cr_checker.Scc.compute restricted in
+  let scc = Cr_checker.Scc.compute_csr restricted in
   let members = Array.make scc.Cr_checker.Scc.count [] in
   for i = num - 1 downto 0 do
     if good.(i) then begin
@@ -128,8 +120,7 @@ let i4_equal_frequency n (p : Program.t)
         let ups = Array.make (n + 1) 0 and dns = Array.make (n + 1) 0 in
         List.iter
           (fun i ->
-            Array.iter
-              (fun j ->
+            Cr_checker.Csr.iter_row restricted i (fun j ->
                 if scc.Cr_checker.Scc.component.(j) = c then begin
                   let before = to_tokens (Cr_semantics.Explicit.state e i) in
                   let after = to_tokens (Cr_semantics.Explicit.state e j) in
@@ -139,8 +130,7 @@ let i4_equal_frequency n (p : Program.t)
                     if Btr.dn n after pr && not (Btr.dn n before pr) then
                       dns.(pr) <- dns.(pr) + 1
                   done
-                end)
-              restricted.(i))
+                end))
           states;
         (* middle processes must receive from both directions equally *)
         for pr = 1 to n - 1 do

@@ -136,7 +136,7 @@ let prop_oracle_eq_fresh_bfs =
     ~count:100 gen_graph (fun g ->
       let adj = adj_of g in
       let n = Array.length adj in
-      let o = Cr_checker.Paths.make_oracle ~succ:adj in
+      let o = Cr_checker.Paths.make_oracle ~succ:(Cr_checker.Csr.of_rows adj) in
       let ok = ref true in
       for src = 0 to n - 1 do
         for dst = 0 to n - 1 do
@@ -155,6 +155,136 @@ let prop_par_map_eq_seq =
       let a = Array.of_list l in
       Cr_checker.Par.map_array ~jobs (fun x -> x * x + 1) a
       = Array.map (fun x -> x * x + 1) a)
+
+(* ---- CSR kernels agree with the legacy array-of-rows kernels ---- *)
+
+module Bs = Cr_checker.Bitset
+
+let prop_csr_reach_agree =
+  QCheck2.Test.make ~name:"forward/backward_csr = forward/backward" ~count:200
+    gen_graph (fun g ->
+      let adj = adj_of g in
+      let csr = Cr_checker.Csr.of_rows adj in
+      let n = Array.length adj in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        let f = Cr_checker.Reach.forward ~succ:adj ~seeds:[ s ] in
+        let fc = Cr_checker.Reach.forward_csr ~succ:csr ~seeds:[ s ] in
+        let b = Cr_checker.Reach.backward ~succ:adj ~seeds:[ s ] in
+        let bc = Cr_checker.Reach.backward_csr ~succ:csr ~seeds:[ s ] in
+        if Bs.to_bool_array fc <> f || Bs.to_bool_array bc <> b then ok := false
+      done;
+      !ok)
+
+let prop_csr_scc_agree =
+  QCheck2.Test.make ~name:"Scc.compute_csr = Scc.compute" ~count:200 gen_graph
+    (fun g ->
+      let adj = adj_of g in
+      let t = Cr_checker.Scc.compute adj in
+      let tc = Cr_checker.Scc.compute_csr (Cr_checker.Csr.of_rows adj) in
+      t.Cr_checker.Scc.component = tc.Cr_checker.Scc.component
+      && t.Cr_checker.Scc.count = tc.Cr_checker.Scc.count
+      && t.Cr_checker.Scc.sizes = tc.Cr_checker.Scc.sizes)
+
+let prop_csr_paths_agree =
+  QCheck2.Test.make
+    ~name:"bfs/shortest/longest CSR kernels = legacy kernels" ~count:100
+    QCheck2.Gen.(pair gen_graph (array_size (int_bound 12) bool))
+    (fun (g, mask_bits) ->
+      let adj = adj_of g in
+      let csr = Cr_checker.Csr.of_rows adj in
+      let n = Array.length adj in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        if
+          Cr_checker.Paths.bfs_distances ~succ:adj ~src
+          <> Cr_checker.Paths.bfs_distances_csr ~succ:csr ~src
+        then ok := false;
+        for dst = 0 to n - 1 do
+          if
+            Cr_checker.Paths.shortest_path ~succ:adj ~src ~dst
+            <> Cr_checker.Paths.shortest_path_csr ~succ:csr ~src ~dst
+          then ok := false
+        done
+      done;
+      let mask = Array.init n (fun i -> i < Array.length mask_bits && mask_bits.(i)) in
+      let legacy =
+        try Ok (Cr_checker.Paths.longest_within ~succ:adj ~mask)
+        with Cr_checker.Paths.Cyclic -> Error ()
+      in
+      let csr_r =
+        try
+          Ok
+            (Cr_checker.Paths.longest_within_csr ~succ:csr
+               ~mask:(Bs.of_bool_array mask))
+        with Cr_checker.Paths.Cyclic -> Error ()
+      in
+      !ok && legacy = csr_r)
+
+let prop_csr_fair_agree =
+  QCheck2.Test.make ~name:"Fair.analyze_csr = Fair.analyze" ~count:200
+    QCheck2.Gen.(
+      triple gen_graph (array_size (int_bound 12) bool) (int_range 1 3))
+    (fun (g, mask_bits, num_actions) ->
+      let adj = adj_of g in
+      let n = Array.length adj in
+      let mask = Array.init n (fun i -> i < Array.length mask_bits && mask_bits.(i)) in
+      (* deterministic pseudo-random action tables drawn from the graph's
+         own edges, so admissibility is non-trivial *)
+      let tables =
+        Array.init num_actions (fun a ->
+            Array.init n (fun s ->
+                let row = adj.(s) in
+                let d = Array.length row in
+                if d = 0 || (s + a) mod 3 = 0 then -1
+                else row.((s * 7 + a) mod d)))
+      in
+      let legacy = Cr_core.Fair.analyze tables ~succ:adj ~mask in
+      let csr =
+        Cr_core.Fair.analyze_csr tables
+          ~succ:(Cr_checker.Csr.of_rows adj)
+          ~mask:(Bs.of_bool_array mask)
+      in
+      legacy.Cr_core.Fair.component = csr.Cr_core.Fair.component
+      && legacy.Cr_core.Fair.fair = csr.Cr_core.Fair.fair
+      && legacy.Cr_core.Fair.sccs = csr.Cr_core.Fair.sccs)
+
+(* ---- classify is byte-identical for CR_JOBS in {1, 2, 4} ---- *)
+
+let explicit_of_adj name adj inits =
+  let n = Array.length adj in
+  Cr_semantics.Explicit.of_edge_lists ~name
+    ~states:(Array.init n (fun i -> i))
+    ~pp_state:Fmt.int
+    ~is_initial:(fun s -> List.mem s inits)
+    ~succ_lists:(Array.map Array.to_list adj)
+
+let prop_classify_jobs_invariant =
+  QCheck2.Test.make ~name:"classify invariant under CR_JOBS in {1,2,4}"
+    ~count:60
+    QCheck2.Gen.(triple gen_graph gen_graph (int_bound 1000))
+    (fun (gc, ga, salt) ->
+      let c = explicit_of_adj "C" (adj_of gc) [ 0 ] in
+      let a = explicit_of_adj "A" (adj_of ga) [ 0 ] in
+      let nc = Cr_semantics.Explicit.num_states c in
+      let na = Cr_semantics.Explicit.num_states a in
+      let alpha = Array.init nc (fun i -> (i * 31 + salt) mod na) in
+      let run jobs =
+        Unix.putenv "CR_JOBS" (string_of_int jobs);
+        Fun.protect
+          ~finally:(fun () -> Unix.putenv "CR_JOBS" "1")
+          (fun () -> Cr_core.Refine.classify ~alpha ~c ~a)
+      in
+      let (cl1, st1) = run 1 in
+      let (cl2, st2) = run 2 in
+      let (cl4, st4) = run 4 in
+      let same (x, sx) (y, sy) =
+        x.Cr_core.Refine.srcs = y.Cr_core.Refine.srcs
+        && x.Cr_core.Refine.dsts = y.Cr_core.Refine.dsts
+        && x.Cr_core.Refine.cls = y.Cr_core.Refine.cls
+        && sx = sy
+      in
+      same (cl1, st1) (cl2, st2) && same (cl1, st1) (cl4, st4))
 
 (* The CR_JOBS fan-out must be observationally invisible: the full report
    at N = 2..4 prints the same bytes whether computed sequentially or on
@@ -199,6 +329,11 @@ let qcheck_cases =
       prop_bfs_path_agree;
       prop_oracle_eq_fresh_bfs;
       prop_par_map_eq_seq;
+      prop_csr_reach_agree;
+      prop_csr_scc_agree;
+      prop_csr_paths_agree;
+      prop_csr_fair_agree;
+      prop_classify_jobs_invariant;
     ]
 
 let () =

@@ -166,13 +166,14 @@ let prop_closure =
           (* minimal: every member is reachable by an explicit path *)
           let e = Program.to_explicit p in
           let reach =
-            Cr_checker.Reach.forward
+            Cr_checker.Reach.forward_csr
               ~succ:(Cr_checker.Reach.of_explicit e)
               ~seeds:[ Cr_semantics.Explicit.find e seed ]
           in
           let minimal =
             Hashtbl.fold
-              (fun s () acc -> acc && reach.(Cr_semantics.Explicit.find e s))
+              (fun s () acc ->
+                acc && Cr_checker.Bitset.get reach (Cr_semantics.Explicit.find e s))
               closure true
           in
           closed && minimal)

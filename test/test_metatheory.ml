@@ -202,7 +202,9 @@ let prop_stabilization_walks =
                 (* after [bound] steps every visited state must be
                    legitimate *)
                 List.iteri
-                  (fun k s -> if k > bound && not legit.(s) then ok := false)
+                  (fun k s ->
+                    if k > bound && not (Cr_checker.Bitset.get legit s) then
+                      ok := false)
                   w
               done
             done;

@@ -30,9 +30,10 @@ let silently f =
 
 let merged_after_report ~jobs =
   Unix.putenv "CR_JOBS" (string_of_int jobs);
-  (* start from a cold compile cache so hit/miss totals don't depend on
-     how many runs came before this one *)
+  (* start from cold compile and verdict caches so hit/miss totals don't
+     depend on how many runs came before this one *)
   Cr_guarded.Program.clear_compile_cache ();
+  Cr_core.Check_cache.clear_all ();
   Obs.reset ();
   Obs.force_collect ();
   silently (fun () -> Cr_experiments.Report.all ());
@@ -148,7 +149,12 @@ let test_verdict_cost () =
   let alpha =
     Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr3.alpha n) d3 btr
   in
-  let r = Cr_core.Stabilize.stabilizing_to ~alpha ~c:d3 ~a:btr () in
+  (* bypass the verdict cache: a warm hit would replay an older run's
+     cost snapshot instead of counting this one *)
+  let r =
+    Cr_core.Check_cache.bypass (fun () ->
+        Cr_core.Stabilize.stabilizing_to ~alpha ~c:d3 ~a:btr ())
+  in
   match r.Cr_core.Stabilize.cost with
   | None -> Alcotest.fail "expected a cost snapshot while tracking"
   | Some cost ->

@@ -228,11 +228,11 @@ let test_btr_basics () =
   let e = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n) in
   let reach = Cr_checker.Reach.reachable_from_initial e in
   let ok = ref true in
-  Array.iteri
-    (fun i r ->
-      if r && Cr_tokenring.Btr.token_count n (Cr_semantics.Explicit.state e i) <> 1
+  List.iter
+    (fun i ->
+      if Cr_tokenring.Btr.token_count n (Cr_semantics.Explicit.state e i) <> 1
       then ok := false)
-    reach;
+    (Cr_checker.Bitset.members reach);
   check "unique token invariant closed" true !ok
 
 (* I4: in the fault-free ring the token alternates direction — each full
