@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json ci examples doc clean
+.PHONY: all build test bench bench-json perfdiff ci examples doc clean
 
 all: build
 
@@ -20,7 +20,10 @@ bench-tables:
 	dune exec bench/main.exe -- --no-micro
 
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR6.json
+	dune exec bench/main.exe -- --json BENCH_PR7.json
+
+perfdiff: bench-json
+	dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR6.json BENCH_PR7.json
 
 ci:
 	bin/ci.sh

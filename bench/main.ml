@@ -186,9 +186,34 @@ let micro_tests () =
             fun () -> ignore (Cr_bidding.Spec.bid 5 s))) );
   ]
 
+(* A fit this poor means the ns/run column is noise-dominated; the row is
+   kept but marked, in the table and in the JSON artifact. *)
+let low_r2 = function
+  | Some r2 when Float.is_finite r2 -> r2 < 0.9
+  | Some _ | None -> true
+
+(* Measurement budget for attempt [k] of a test (0 = first run): each
+   retry quadruples the time quota so the OLS fit gets more, and more
+   widely spread, sample sizes.  The sample cap scales more gently — the
+   quota, not the cap, is what noisy rows were exhausting. *)
+let cfg_for speed attempt =
+  let quota base = Time.second (base *. (4. ** float_of_int attempt)) in
+  match speed with
+  | Normal ->
+      Benchmark.cfg ~limit:(2000 * (attempt + 1)) ~quota:(quota 0.5) ~kde:None ()
+  | Sub_micro ->
+      Benchmark.cfg ~limit:(20000 * (attempt + 1)) ~quota:(quota 3.0) ~kde:None
+        ()
+  | Slow -> Benchmark.cfg ~limit:2000 ~quota:(quota 3.0) ~kde:None ()
+
+let max_retries = 2
+
 (* Run the micro-benchmarks and return one row per test, sorted by name
    (the raw [Analyze.all] result is a [Hashtbl], whose iteration order is
-   nondeterministic). *)
+   nondeterministic).  A row whose fit comes back below the r^2 threshold
+   is re-measured at escalated budgets (up to [max_retries] times) and
+   the best-r^2 attempt is kept, so a row ships as [low_r2] only after
+   the widened budget also failed to stabilize it. *)
 let run_micro () =
   let tests = micro_tests () in
   (* The table sweep above leaves every compiled system up to N = 7 (and
@@ -201,56 +226,68 @@ let run_micro () =
   Cr_core.Check_cache.clear_all ();
   Gc.compact ();
   let instance = Instance.monotonic_clock in
-  let cfg_normal = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
-  (* sub-µs bodies: 10x the sample cap and 6x the time budget *)
-  let cfg_sub = Benchmark.cfg ~limit:20000 ~quota:(Time.second 3.0) ~kde:None () in
-  (* multi-ms bodies: same sample cap, 6x the time budget *)
-  let cfg_slow = Benchmark.cfg ~limit:2000 ~quota:(Time.second 3.0) ~kde:None () in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let measure speed attempt test =
+    let results = Benchmark.all (cfg_for speed attempt) [ instance ] test in
+    let analysis = Analyze.all ols instance results in
+    let row = ref None in
+    Hashtbl.iter
+      (fun name ols_result ->
+        let est =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> Some e
+          | _ -> None
+        in
+        row := Some (name, est, Analyze.OLS.r_square ols_result))
+      analysis;
+    !row
+  in
+  let better a b =
+    (* prefer the attempt whose fit explains more of the variance *)
+    match (a, b) with
+    | (_, _, Some ra), (_, _, Some rb) -> if rb > ra then b else a
+    | (_, _, None), (_, _, Some _) -> b
+    | _ -> a
   in
   let rows = ref [] in
   List.iter
     (fun (speed, test) ->
-      let cfg =
-        match speed with
-        | Normal -> cfg_normal
-        | Sub_micro -> cfg_sub
-        | Slow -> cfg_slow
-      in
-      let results = Benchmark.all cfg [ instance ] test in
-      let analysis = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          let est =
-            match Analyze.OLS.estimates ols_result with
-            | Some (e :: _) -> Some e
-            | _ -> None
-          in
-          rows := (name, est, Analyze.OLS.r_square ols_result) :: !rows)
-        analysis)
+      match measure speed 0 test with
+      | None -> ()
+      | Some first ->
+          let best = ref first and retries = ref 0 in
+          while
+            (let _, _, r2 = !best in
+             low_r2 r2)
+            && !retries < max_retries
+          do
+            incr retries;
+            match measure speed !retries test with
+            | Some attempt -> best := better !best attempt
+            | None -> ()
+          done;
+          let name, est, r2 = !best in
+          rows := (name, est, r2, !retries) :: !rows)
     tests;
-  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
-
-(* A fit this poor means the ns/run column is noise-dominated; the row is
-   kept but marked, in the table and in the JSON artifact. *)
-let low_r2 = function
-  | Some r2 when Float.is_finite r2 -> r2 < 0.9
-  | Some _ | None -> true
+  List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b) !rows
 
 let print_micro rows =
   hr "Checker micro-benchmarks (Bechamel, monotonic clock)";
-  pf "%-32s %-16s %s@." "benchmark" "ns/run" "r^2";
+  pf "%-32s %-16s %-10s %s@." "benchmark" "ns/run" "r^2" "retries";
   List.iter
-    (fun (name, est, r2) ->
+    (fun (name, est, r2, retries) ->
       let fmt_opt f = function Some v -> Fmt.str f v | None -> "-" in
-      pf "%-32s %-16s %s%s@." name
+      pf "%-32s %-16s %-10s %d%s@." name
         (fmt_opt "%.1f" est)
         (fmt_opt "%.4f" r2)
+        retries
         (if low_r2 r2 then "  (*)" else ""))
     rows;
-  if List.exists (fun (_, _, r2) -> low_r2 r2) rows then
-    pf "(*) r^2 < 0.9: OLS fit is noise-dominated; read ns/run with care@."
+  if List.exists (fun (_, _, r2, _) -> low_r2 r2) rows then
+    pf "(*) r^2 < 0.9 even after escalated re-runs: OLS fit is \
+        noise-dominated; read ns/run with care@."
 
 (* ---------- per-N wall-clock of the full table sweep ---------- *)
 
@@ -307,10 +344,10 @@ let counters_snapshot () =
     Cr_obs.Obs.force_collect ();
     silently (fun () -> Cr_experiments.Report.all ~ns:[ 2 ] ())
   end;
-  Cr_obs.Obs.merged_snapshot ()
+  (Cr_obs.Obs.merged_snapshot (), Cr_obs.Obs.merged_histograms ())
 
 let write_json path micro report_wall =
-  let counters = counters_snapshot () in
+  let counters, hists = counters_snapshot () in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -318,14 +355,15 @@ let write_json path micro report_wall =
        (Cr_checker.Par.jobs_env ()));
   Buffer.add_string buf "  \"micro\": [\n";
   List.iteri
-    (fun i (name, est, r2) ->
+    (fun i (name, est, r2, retries) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"name\": %S, \"ns_per_run\": %s, \"r2\": %s, \"low_r2\": %b}%s\n"
+           "    {\"name\": %S, \"ns_per_run\": %s, \"r2\": %s, \"low_r2\": %b, \
+            \"retries\": %d}%s\n"
            name
            (json_of_float_opt est)
            (json_of_float_opt r2)
-           (low_r2 r2)
+           (low_r2 r2) retries
            (if i = List.length micro - 1 then "" else ",")))
     micro;
   Buffer.add_string buf "  ],\n  \"report_all_wall_s\": [\n";
@@ -342,6 +380,20 @@ let write_json path micro report_wall =
         (Printf.sprintf "    %S: %d%s\n" name v
            (if i = List.length counters - 1 then "" else ",")))
     counters;
+  Buffer.add_string buf "  },\n  \"hists\": {\n";
+  List.iteri
+    (fun i (name, (h : Cr_obs.Obs.hstats)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %S: {\"count\": %d, \"mean\": %.1f, \"p50\": %d, \"p90\": %d, \
+            \"p99\": %d, \"max\": %d}%s\n"
+           name h.count (Cr_obs.Obs.mean h)
+           (Cr_obs.Obs.quantile h 0.5)
+           (Cr_obs.Obs.quantile h 0.9)
+           (Cr_obs.Obs.quantile h 0.99)
+           h.max_value
+           (if i = List.length hists - 1 then "" else ",")))
+    hists;
   Buffer.add_string buf "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);

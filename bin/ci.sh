@@ -68,8 +68,32 @@ cmp -s "$expout" "$expout0" || {
   exit 1
 }
 
+# Journal smoke: a CR_JOURNAL run must produce a lintable JSONL stream
+# that records the compile-cache traffic and the stabilize verdict.
+journal=$(mktemp /tmp/cr.journal.XXXXXX)
+trap 'rm -f "$trace" "$lintjson" "$cachelog" "$expout" "$expout0" "$explog" "$journal"' EXIT
+: > "$journal"
+CR_JOURNAL="$journal" dune exec bin/crcheck.exe -- verify dijkstra3 -n 3 > /dev/null
+test -s "$journal" || { echo "ci: CR_JOURNAL produced no output" >&2; exit 1; }
+dune exec bin/journal_lint.exe -- "$journal" \
+  --expect compile.cache --expect stabilize.verdict
+
 # The committed benchmark artifacts must stay well-formed JSON.
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR4.json
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR6.json
+dune exec bin/trace_lint.exe -- --json-only BENCH_PR7.json
+
+# Perf-regression gate: the committed baseline must self-diff cleanly
+# (exit 0, no regressions), and a fresh artifact from this machine must
+# stay within a generous cross-machine gate of the committed baseline.
+# Low-r^2 rows are never gated and sub-microsecond rows get 4x slack,
+# so this catches order-of-magnitude regressions without flaking on
+# scheduler noise.
+dune exec bin/perfdiff.exe -- BENCH_PR6.json BENCH_PR6.json > /dev/null
+if [ "${CI_BENCH:-0}" = "1" ]; then
+  dune exec bench/main.exe -- --json BENCH_PR7.json > /dev/null
+  dune exec bin/trace_lint.exe -- --json-only BENCH_PR7.json
+  dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR6.json BENCH_PR7.json
+fi
 
 echo "ci: OK"

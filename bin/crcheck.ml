@@ -6,6 +6,7 @@
      crcheck trace SYSTEM [-n N] ...     inject faults and print recovery
      crcheck kstate [-n N] [-k K]        K-state threshold exploration
      crcheck lint SYSTEM|--all [-n N]    static analysis of the programs
+     crcheck perfdiff A.json B.json      noise-aware bench regression gate
 *)
 
 open Cmdliner
@@ -299,7 +300,21 @@ let lint name all n json stats =
       List.iter
         (fun row ->
           List.iter
-            (fun f -> pf "%a@." Cr_lint.Lint.pp_finding f)
+            (fun f ->
+              pf "%a@." Cr_lint.Lint.pp_finding f;
+              Cr_obs.Journal.emit "lint.finding"
+                [
+                  ( "system",
+                    Cr_obs.Journal.S
+                      row.Cr_experiments.Lint_exps.entry
+                        .Cr_experiments.Registry.name );
+                  ("check", Cr_obs.Journal.S f.Cr_lint.Lint.key);
+                  ( "severity",
+                    Cr_obs.Journal.S
+                      (Cr_lint.Lint.severity_string f.Cr_lint.Lint.severity) );
+                  ("program", Cr_obs.Journal.S f.Cr_lint.Lint.program);
+                  ("action", Cr_obs.Journal.S f.Cr_lint.Lint.action);
+                ])
             row.Cr_experiments.Lint_exps.report.Cr_lint.Lint.findings)
         rows;
       let errors = Cr_experiments.Lint_exps.total_errors rows in
@@ -355,6 +370,37 @@ let lint_cmd =
           error-severity findings.")
     Term.(const lint $ system_opt $ all_arg $ n_arg $ json_arg $ stats_arg)
 
+(* ---- perfdiff ---- *)
+
+let perfdiff_cmd =
+  let base_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASE.json" ~doc:"Baseline bench --json artifact.")
+  in
+  let next_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"New bench --json artifact to judge.")
+  in
+  let gate_arg =
+    Arg.(
+      value & opt float 25.
+      & info [ "gate" ] ~docv:"PCT"
+          ~doc:
+            "Regression gate in percent for trusted rows (low-r2 rows are \
+             never gated; sub-microsecond rows get 4x this tolerance).")
+  in
+  let run base next gate = Cr_obs.Perfdiff.run ~gate_pct:gate base next in
+  Cmd.v
+    (Cmd.info "perfdiff"
+       ~doc:
+         "Compare two bench --json artifacts row by row and exit nonzero \
+          when any trusted row regresses past the gate")
+    Term.(const run $ base_arg $ next_arg $ gate_arg)
+
 (* ---- experiments ---- *)
 
 let experiments_cmd =
@@ -376,6 +422,6 @@ let experiments_cmd =
 let main =
   let doc = "model checking and refinement checking for Convergence Refinement" in
   let info = Cmd.info "crcheck" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; verify_cmd; refine_cmd; trace_cmd; kstate_cmd; spans_cmd; dot_cmd; lint_cmd; experiments_cmd ]
+  Cmd.group info [ list_cmd; verify_cmd; refine_cmd; trace_cmd; kstate_cmd; spans_cmd; dot_cmd; lint_cmd; perfdiff_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,102 @@
+(* journal_lint — validate a CR_JOURNAL run-journal (JSONL).
+
+     journal_lint FILE [--expect PREFIX]...
+
+   Checks that every non-empty line is a JSON object carrying the
+   provenance stamp ("ev", integer "seq", "rev", "jobs"), that sequence
+   numbers are unique, that the stream opens with a journal.open header
+   at seq 0, and that at least one event follows the header.  Each
+   --expect PREFIX additionally requires at least one event whose "ev"
+   starts with PREFIX (bin/ci.sh uses --expect compile.cache to assert
+   the smoke run actually exercised the cache).  Exits 0 when the
+   journal is well-formed, 1 otherwise. *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let () =
+  let expects = ref [] in
+  let path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--expect" :: prefix :: rest ->
+        expects := prefix :: !expects;
+        parse rest
+    | "--expect" :: [] -> fail "usage: journal_lint FILE [--expect PREFIX]..."
+    | arg :: rest when !path = None ->
+        path := Some arg;
+        parse rest
+    | _ -> fail "usage: journal_lint FILE [--expect PREFIX]..."
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path =
+    match !path with
+    | Some p -> p
+    | None -> fail "usage: journal_lint FILE [--expect PREFIX]..."
+  in
+  if not (Sys.file_exists path) then fail "journal_lint: no such file: %s" path;
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let seqs = Hashtbl.create 256 in
+  let events = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if String.trim line <> "" then
+        match Cr_obs.Json_check.parse_string line with
+        | Error msg -> fail "journal_lint: %s:%d: invalid JSON: %s" path lineno msg
+        | Ok j ->
+            let str k = Option.bind (Cr_obs.Json_check.member k j) Cr_obs.Json_check.to_string in
+            let int_ k = Option.bind (Cr_obs.Json_check.member k j) Cr_obs.Json_check.to_int in
+            (match j with
+            | Cr_obs.Json_check.Obj _ -> ()
+            | _ -> fail "journal_lint: %s:%d: not a JSON object" path lineno);
+            let ev =
+              match str "ev" with
+              | Some ev -> ev
+              | None -> fail "journal_lint: %s:%d: missing \"ev\"" path lineno
+            in
+            let seq =
+              match int_ "seq" with
+              | Some s -> s
+              | None ->
+                  fail "journal_lint: %s:%d: missing integer \"seq\"" path lineno
+            in
+            if str "rev" = None || int_ "jobs" = None then
+              fail "journal_lint: %s:%d: missing provenance (\"rev\"/\"jobs\")"
+                path lineno;
+            if Hashtbl.mem seqs seq then
+              fail "journal_lint: %s:%d: duplicate seq %d" path lineno seq;
+            Hashtbl.add seqs seq ();
+            events := (seq, ev) :: !events)
+    (String.split_on_char '\n' body);
+  let events = List.rev !events in
+  (match events with
+  | [] -> fail "journal_lint: %s: empty journal" path
+  | (seq0, ev0) :: rest ->
+      if not (seq0 = 0 && ev0 = "journal.open") then
+        fail "journal_lint: %s: first event is %S at seq %d, want journal.open \
+              at seq 0"
+          path ev0 seq0;
+      if rest = [] then
+        fail "journal_lint: %s: header only, no events recorded" path);
+  List.iter
+    (fun prefix ->
+      if not (List.exists (fun (_, ev) -> starts_with ~prefix ev) events) then
+        fail "journal_lint: %s: no event matching prefix %S" path prefix)
+    !expects;
+  let by_ev = Hashtbl.create 16 in
+  List.iter
+    (fun (_, ev) ->
+      Hashtbl.replace by_ev ev (1 + Option.value ~default:0 (Hashtbl.find_opt by_ev ev)))
+    events;
+  let kinds =
+    List.sort compare (Hashtbl.fold (fun ev n acc -> (ev, n) :: acc) by_ev [])
+  in
+  Printf.printf "journal_lint: %s OK (%d event(s): %s)\n" path
+    (List.length events)
+    (String.concat ", " (List.map (fun (ev, n) -> Printf.sprintf "%s=%d" ev n) kinds))

@@ -1,0 +1,36 @@
+(* perfdiff — noise-aware comparison of two bench --json artifacts.
+
+     perfdiff BASE.json NEW.json [--gate PCT]
+
+   Matches micro rows by name and prints a per-row delta table.  Rows
+   flagged low_r2 in either artifact are reported but never gated;
+   sub-microsecond rows get a 4x widened tolerance; every other row is
+   gated at PCT (default 25).  Exits 0 when no trusted row regresses
+   past its tolerance, 1 when one does, 2 on unreadable input — the
+   regression gate bin/ci.sh runs against the committed baseline. *)
+
+let usage () =
+  prerr_endline "usage: perfdiff BASE.json NEW.json [--gate PCT]";
+  exit 2
+
+let () =
+  let gate = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--gate" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some g when g > 0. ->
+            gate := Some g;
+            parse rest
+        | _ -> usage ())
+    | "--gate" :: [] -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !paths with
+  | [ base; next ] -> exit (Cr_obs.Perfdiff.run ?gate_pct:!gate base next)
+  | _ -> usage ()

@@ -26,6 +26,11 @@ open Cr_semantics
 let c_hits = Cr_obs.Obs.counter "check.cache.hits"
 let c_misses = Cr_obs.Obs.counter "check.cache.misses"
 
+(* Time spent blocked behind another domain's in-flight check.  Only
+   populated under CR_JOBS > 1, so (unlike hit/miss totals) it is
+   schedule-dependent — a distribution to eyeball, not an invariant. *)
+let h_wait = Cr_obs.Obs.histogram "check.cache.wait_us"
+
 type 'v slot = Inflight | Done of 'v
 
 type 'v t = {
@@ -87,20 +92,31 @@ let find_or_check c ~key ~same ~check =
   if not (enabled ()) then check ()
   else begin
     Mutex.lock c.m;
+    let wait_start = ref None in
     let rec lookup () =
       match Hashtbl.find_opt c.tbl key with
       | Some (Done v) -> `Hit v
       | Some Inflight ->
+          if !wait_start = None then wait_start := Some (Cr_obs.Obs.now_us ());
           Condition.wait c.cv c.m;
           lookup ()
       | None ->
           Hashtbl.add c.tbl key Inflight;
           `Miss
     in
-    match lookup () with
+    let outcome = lookup () in
+    Mutex.unlock c.m;
+    (match !wait_start with
+    | None -> ()
+    | Some t0 ->
+        let waited = Cr_obs.Obs.now_us () -. t0 in
+        Cr_obs.Obs.observe h_wait (int_of_float waited);
+        Cr_obs.Journal.emit "check.cache.wait"
+          [ ("key", Cr_obs.Journal.S key); ("wait_us", Cr_obs.Journal.F waited) ]);
+    match outcome with
     | `Hit v ->
-        Mutex.unlock c.m;
         Cr_obs.Obs.incr c_hits;
+        Cr_obs.Journal.emit "check.cache.hit" [ ("key", Cr_obs.Journal.S key) ];
         if paranoid () then begin
           let fresh = check () in
           if not (same v fresh) then
@@ -112,8 +128,8 @@ let find_or_check c ~key ~same ~check =
         end;
         v
     | `Miss -> (
-        Mutex.unlock c.m;
         Cr_obs.Obs.incr c_misses;
+        Cr_obs.Journal.emit "check.cache.miss" [ ("key", Cr_obs.Journal.S key) ];
         match check () with
         | v ->
             Mutex.protect c.m (fun () ->

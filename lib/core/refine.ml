@@ -152,6 +152,12 @@ let iter_classified t f =
    chunk totals (the sweep itself carries no instrumentation beyond the
    oracle's own counters). *)
 let c_classify_runs = Cr_obs.Obs.counter "refine.classify.runs"
+
+(* Wall time of each chunk of the classification sweep — the
+   load-balance view of the CR_JOBS fan-out (one observation per chunk;
+   the chunk *count* therefore varies with the job count even though the
+   classified output does not). *)
+let h_chunk = Cr_obs.Obs.histogram "refine.classify.chunk_us"
 let c_edges_exact = Cr_obs.Obs.counter "refine.edges.exact"
 let c_edges_stutter = Cr_obs.Obs.counter "refine.edges.stutter"
 let c_edges_compression = Cr_obs.Obs.counter "refine.edges.compression"
@@ -190,6 +196,7 @@ let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
   (* Sweep rows [lo, hi), writing each edge at its absolute offset;
      returns this chunk's tallies (edge count is implied by the range). *)
   let sweep lo hi =
+    let t0 = if Cr_obs.Obs.tracking () then Cr_obs.Obs.now_us () else 0. in
     let oracle = Cr_checker.Paths.make_oracle ~succ:succ_a in
     let exact = ref 0 and stutter = ref 0 in
     let compressions = ref 0 and max_dropped = ref 0 in
@@ -235,6 +242,8 @@ let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
         done
       end
     done;
+    if Cr_obs.Obs.tracking () then
+      Cr_obs.Obs.observe h_chunk (int_of_float (Cr_obs.Obs.now_us () -. t0));
     (!exact, !stutter, !compressions, !max_dropped)
   in
   let jobs = min (Par.current_jobs ()) (max n 1) in
@@ -341,16 +350,26 @@ let make_report ~relation ~c ~a ~stats failures =
   }
 
 (* Run one checker under a named span and attach the movement of this
-   domain's counters to the verdict.  The delta is domain-local, so it is
-   deterministic even when sibling checks run on other domains. *)
+   domain's counters — plus the gc.* allocation delta of this domain —
+   to the verdict.  Both deltas are domain-local, so they are
+   deterministic even when sibling checks run on other domains (the GC
+   entries price only this domain's own allocations). *)
 let with_cost span_name f =
   Cr_obs.Obs.span span_name @@ fun () ->
   if not (Cr_obs.Obs.tracking ()) then f ()
   else begin
     let before = Cr_obs.Obs.domain_snapshot () in
+    let gc_before = Cr_obs.Obs.gc_now () in
     let report = f () in
+    let gc_after = Cr_obs.Obs.gc_now () in
     let after = Cr_obs.Obs.domain_snapshot () in
-    { report with cost = Some (Cr_obs.Obs.diff ~before ~after) }
+    let cost =
+      Cr_obs.Obs.merge_snapshots
+        (Cr_obs.Obs.diff ~before ~after)
+        (Cr_obs.Obs.gc_cost_entries
+           (Cr_obs.Obs.gc_delta ~before:gc_before ~after:gc_after))
+    in
+    { report with cost = Some cost }
   end
 
 (* Verdict cache shared by all four relations: the key covers the
@@ -376,12 +395,47 @@ let cache_key ~relation ~alpha ~fair ~(c : _ Explicit.t) ~(a : _ Explicit.t) =
   Printf.sprintf "%s|%s|%s|%s" relation (Explicit.name c) (Explicit.name a)
     (Check_cache.Fp.to_hex fp)
 
+(* One journal event per verdict delivered to a caller.  [cached] is
+   true when the report came out of the verdict cache without running
+   the checker (under CR_CHECK_PARANOID the paranoid re-check makes a
+   hit look fresh — the honest reading, since the work was done). *)
+let emit_verdict ~was_cached (r : report) =
+  if Cr_obs.Journal.enabled () then begin
+    let open Cr_obs.Journal in
+    let fields =
+      [
+        ("relation", S r.relation);
+        ("concrete", S r.concrete);
+        ("abstract", S r.abstract);
+        ("holds", B r.holds);
+        ("edges", I r.stats.edges);
+        ("failures", I r.total_failures);
+        ("cached", B was_cached);
+      ]
+    in
+    let fields =
+      match r.cost with
+      | Some snap -> fields @ [ ("cost", Snap snap) ]
+      | None -> fields
+    in
+    emit "refine.verdict" fields
+  end
+
 let cached ~relation ~alpha ~fair ~c ~a check =
-  if not (Check_cache.enabled ()) then check ()
-  else
-    Check_cache.find_or_check check_cache
-      ~key:(cache_key ~relation ~alpha ~fair ~c ~a)
-      ~same:same_report ~check
+  let computed = ref false in
+  let check () =
+    computed := true;
+    check ()
+  in
+  let r =
+    if not (Check_cache.enabled ()) then check ()
+    else
+      Check_cache.find_or_check check_cache
+        ~key:(cache_key ~relation ~alpha ~fair ~c ~a)
+        ~same:same_report ~check
+  in
+  emit_verdict ~was_cached:(not !computed) r;
+  r
 
 (* [C ⊑ A]_init *)
 let init_refinement ?alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) () =

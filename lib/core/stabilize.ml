@@ -129,7 +129,8 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
   let check () =
     Cr_obs.Obs.span "stabilize.check" @@ fun () ->
     let cost_before =
-      if Cr_obs.Obs.tracking () then Some (Cr_obs.Obs.domain_snapshot ())
+      if Cr_obs.Obs.tracking () then
+        Some (Cr_obs.Obs.domain_snapshot (), Cr_obs.Obs.gc_now ())
       else None
     in
     let legit = Cr_checker.Reach.reachable_from_initial a in
@@ -284,25 +285,64 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
       good_mask = Cr_checker.Bitset.to_bool_array good;
       cost =
         Option.map
-          (fun before ->
-            Cr_obs.Obs.diff ~before ~after:(Cr_obs.Obs.domain_snapshot ()))
+          (fun (before, gc_before) ->
+            (* counter movement plus gc.* allocation delta, both
+               domain-local (see [Refine.with_cost]) *)
+            Cr_obs.Obs.merge_snapshots
+              (Cr_obs.Obs.diff ~before ~after:(Cr_obs.Obs.domain_snapshot ()))
+              (Cr_obs.Obs.gc_cost_entries
+                 (Cr_obs.Obs.gc_delta ~before:gc_before
+                    ~after:(Cr_obs.Obs.gc_now ()))))
           cost_before;
     }
   in
-  if not (Check_cache.enabled ()) then check ()
-  else begin
-    let fp = Check_cache.Fp.create () in
-    Check_cache.Fp.add_explicit fp c;
-    Check_cache.Fp.add_explicit fp a;
-    Check_cache.Fp.add_int_array fp alpha;
-    Check_cache.Fp.add_option_int_array_array fp fair;
-    Check_cache.Fp.add_int fp (if stutter_ok then 1 else 0);
-    let key =
-      Printf.sprintf "stab|%s|%s|%s" (Explicit.name c) (Explicit.name a)
-        (Check_cache.Fp.to_hex fp)
-    in
-    Check_cache.find_or_check check_cache ~key ~same:same_report ~check
-  end
+  let computed = ref false in
+  let check () =
+    computed := true;
+    check ()
+  in
+  let r =
+    if not (Check_cache.enabled ()) then check ()
+    else begin
+      let fp = Check_cache.Fp.create () in
+      Check_cache.Fp.add_explicit fp c;
+      Check_cache.Fp.add_explicit fp a;
+      Check_cache.Fp.add_int_array fp alpha;
+      Check_cache.Fp.add_option_int_array_array fp fair;
+      Check_cache.Fp.add_int fp (if stutter_ok then 1 else 0);
+      let key =
+        Printf.sprintf "stab|%s|%s|%s" (Explicit.name c) (Explicit.name a)
+          (Check_cache.Fp.to_hex fp)
+      in
+      Check_cache.find_or_check check_cache ~key ~same:same_report ~check
+    end
+  in
+  (if Cr_obs.Journal.enabled () then begin
+     let open Cr_obs.Journal in
+     let fields =
+       [
+         ("concrete", S r.concrete);
+         ("abstract", S r.abstract);
+         ("holds", B r.holds);
+         ("states", I r.states);
+         ("legitimate", I r.legitimate);
+         ("good", I r.good);
+         ("cached", B (not !computed));
+       ]
+     in
+     let fields =
+       match r.worst_case_recovery with
+       | Some w -> fields @ [ ("worst_case_recovery", I w) ]
+       | None -> fields
+     in
+     let fields =
+       match r.cost with
+       | Some snap -> fields @ [ ("cost", Snap snap) ]
+       | None -> fields
+     in
+     emit "stabilize.verdict" fields
+   end);
+  r
 
 (* Self-stabilization: A is stabilizing to A. *)
 let self_stabilizing (a : _ Explicit.t) = stabilizing_to ~c:a ~a ()

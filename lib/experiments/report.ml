@@ -337,18 +337,34 @@ let table_mutex ns =
 (* ---------- cost appendix (CR_STATS) ---------- *)
 
 (* Wrap one table in a [report.<id>] span and record its wall time plus
-   the movement of the merged telemetry counters.  Each table joins its
-   [Par] workers before returning, so the merged before/after snapshots
-   are race-free and their delta is the table's own cost. *)
+   the movement of the merged telemetry counters and of this domain's GC
+   allocation counters.  Each table joins its [Par] workers before
+   returning, so the merged before/after snapshots are race-free and
+   their delta is the table's own cost; the GC delta prices only the
+   main domain's allocations (worker-domain words are not summed).
+   With a journal configured the table also lands as one [report.table]
+   event, even when counter tracking is off. *)
 let run_table appendix id f =
-  if not (Cr_obs.Obs.tracking ()) then f ()
+  let tracking = Cr_obs.Obs.tracking () in
+  if not (tracking || Cr_obs.Journal.enabled ()) then f ()
   else begin
-    let before = Cr_obs.Obs.merged_snapshot () in
+    let before =
+      if tracking then Some (Cr_obs.Obs.merged_snapshot (), Cr_obs.Obs.gc_now ())
+      else None
+    in
     let t0 = Unix.gettimeofday () in
     Cr_obs.Obs.span ("report." ^ id) f;
     let wall_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
-    let delta = Cr_obs.Obs.diff ~before ~after:(Cr_obs.Obs.merged_snapshot ()) in
-    appendix := (id, wall_ms, delta) :: !appendix
+    (match before with
+    | Some (snap, gc) ->
+        let delta =
+          Cr_obs.Obs.diff ~before:snap ~after:(Cr_obs.Obs.merged_snapshot ())
+        in
+        let gcd = Cr_obs.Obs.gc_delta ~before:gc ~after:(Cr_obs.Obs.gc_now ()) in
+        appendix := (id, wall_ms, delta, gcd) :: !appendix
+    | None -> ());
+    Cr_obs.Journal.emit "report.table"
+      [ ("id", Cr_obs.Journal.S id); ("wall_ms", Cr_obs.Journal.F wall_ms) ]
   end
 
 let top_counters ?(limit = 4) (delta : Cr_obs.Obs.snapshot) =
@@ -357,10 +373,14 @@ let top_counters ?(limit = 4) (delta : Cr_obs.Obs.snapshot) =
 
 let print_appendix appendix =
   hr "Cost appendix (CR_STATS)";
-  pf "%-6s %10s  %s@." "table" "wall-ms" "largest counter movements";
+  pf "%-6s %10s %9s %6s  %s@." "table" "wall-ms" "alloc-Mw" "majGC"
+    "largest counter movements";
   List.iter
-    (fun (id, wall_ms, delta) ->
-      pf "%-6s %10.1f  %s@." id wall_ms
+    (fun (id, wall_ms, delta, (gcd : Cr_obs.Obs.gc_cost)) ->
+      pf "%-6s %10.1f %9.2f %6d  %s@." id wall_ms
+        (float_of_int (gcd.Cr_obs.Obs.minor_words + gcd.Cr_obs.Obs.major_words)
+        /. 1e6)
+        gcd.Cr_obs.Obs.major_collections
         (String.concat " "
            (List.map
               (fun (name, v) -> Printf.sprintf "%s=%d" name v)

@@ -47,6 +47,23 @@ let registry () =
       ( Array.of_list (List.rev !rev_names),
         Array.of_list (List.rev !rev_kinds) ))
 
+(* ---------- histogram registry (names by id) ---------- *)
+
+type histogram = int
+
+let rev_hist_names : string list ref = ref []
+let n_hists = ref 0
+
+let histogram name : histogram =
+  Mutex.protect lock (fun () ->
+      rev_hist_names := name :: !rev_hist_names;
+      let id = !n_hists in
+      incr n_hists;
+      id)
+
+let hist_registry () =
+  Mutex.protect lock (fun () -> Array.of_list (List.rev !rev_hist_names))
+
 (* ---------- enablement ---------- *)
 
 let env_truthy = function None | Some "" | Some "0" -> false | Some _ -> true
@@ -80,9 +97,41 @@ type span_event = {
   tid : int;  (* OCaml domain id *)
 }
 
+(* Log-bucketed histogram cell: bucket 0 holds value 0, bucket k >= 1
+   holds values in [2^(k-1), 2^k).  Exact count/total/max ride along, so
+   the bucket quantization only touches the quantile estimates. *)
+type hcell = {
+  mutable hcount : int;
+  mutable htotal : int;
+  mutable hmax : int;
+  hbuckets : int array;  (* length [hist_buckets] *)
+}
+
+let hist_buckets = 63
+
+let new_hcell () =
+  { hcount = 0; htotal = 0; hmax = 0; hbuckets = Array.make hist_buckets 0 }
+
+(* Bucket index of a value: 0 for 0 (negatives clamp), else
+   1 + floor(log2 v), capped at the last bucket. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      incr b;
+      x := !x lsr 1
+    done;
+    min !b (hist_buckets - 1)
+  end
+
+(* Inclusive upper bound of a bucket (used for quantile estimates). *)
+let bucket_hi b = if b = 0 then 0 else (1 lsl b) - 1
+
 type dstate = {
   tid : int;
   mutable counts : int array;  (* indexed by counter id *)
+  mutable hists : hcell option array;  (* indexed by histogram id *)
   mutable evs : span_event list;  (* most recent first *)
   mutable depth : int;
 }
@@ -95,6 +144,7 @@ let dls_key : dstate Domain.DLS.key =
         {
           tid = (Domain.self () :> int);
           counts = Array.make 64 0;
+          hists = Array.make 16 None;
           evs = [];
           depth = 0;
         }
@@ -127,6 +177,54 @@ let record_max c v =
     if v > d.counts.(c) then d.counts.(c) <- v
   end
 
+(* ---------- histogram observations ---------- *)
+
+let hcell_of d (h : histogram) =
+  if h >= Array.length d.hists then begin
+    let a = Array.make (max (2 * Array.length d.hists) (h + 1)) None in
+    Array.blit d.hists 0 a 0 (Array.length d.hists);
+    d.hists <- a
+  end;
+  match d.hists.(h) with
+  | Some c -> c
+  | None ->
+      let c = new_hcell () in
+      d.hists.(h) <- Some c;
+      c
+
+let observe h v =
+  if !on then begin
+    let c = hcell_of (cur ()) h in
+    let v = max 0 v in
+    c.hcount <- c.hcount + 1;
+    c.htotal <- c.htotal + v;
+    if v > c.hmax then c.hmax <- v;
+    let b = bucket_of v in
+    c.hbuckets.(b) <- c.hbuckets.(b) + 1
+  end
+
+(* ---------- live-worker accounting ---------- *)
+
+(* [events], [merged_snapshot] and [merged_histograms] read every
+   domain's private storage without synchronization; that is only sound
+   when no worker domain is running.  [Par] brackets its fan-outs with
+   [workers_add], and the merging entry points refuse to run (instead of
+   silently racing) while the count is nonzero. *)
+let live = Atomic.make 0
+
+let workers_add k = ignore (Atomic.fetch_and_add live k : int)
+
+let live_workers () = Atomic.get live
+
+let assert_quiescent who =
+  let n = Atomic.get live in
+  if n > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.%s: called while %d worker domain(s) are live; merge only \
+          between [Par] fan-outs"
+         who n)
+
 (* ---------- spans ---------- *)
 
 let now_us () = Unix.gettimeofday () *. 1e6
@@ -157,6 +255,7 @@ let span name f =
   end
 
 let events () =
+  assert_quiescent "events";
   let evs =
     Mutex.protect lock (fun () ->
         List.concat_map (fun d -> d.evs) !all_dstates)
@@ -187,6 +286,7 @@ let domain_snapshot () =
    [Par] fan-outs join their domains before returning, so any point
    between two checker calls qualifies). *)
 let merged_snapshot () =
+  assert_quiescent "merged_snapshot";
   let names, kinds = registry () in
   let totals = Array.make (Array.length names) 0 in
   let dstates = Mutex.protect lock (fun () -> !all_dstates) in
@@ -228,11 +328,157 @@ let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
   in
   go before after []
 
+(* ---------- merged histograms ---------- *)
+
+type hstats = {
+  count : int;
+  total : int;
+  max_value : int;
+  buckets : int array;
+}
+
+(* Quantile estimate from the merged buckets: the inclusive upper bound
+   of the bucket where the cumulative count first reaches q * count,
+   clamped to the exact maximum.  Deterministic in the observation
+   multiset (sums of per-domain buckets commute). *)
+let quantile (h : hstats) q =
+  if h.count = 0 then 0
+  else begin
+    let want =
+      let w = int_of_float (ceil (q *. float_of_int h.count)) in
+      min (max w 1) h.count
+    in
+    let b = ref 0 and seen = ref 0 in
+    (try
+       for i = 0 to Array.length h.buckets - 1 do
+         seen := !seen + h.buckets.(i);
+         if !seen >= want then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    min (bucket_hi !b) h.max_value
+  end
+
+let mean (h : hstats) =
+  if h.count = 0 then 0.0
+  else float_of_int h.total /. float_of_int h.count
+
+(* Histograms merged across every domain: bucket counts, totals and
+   counts add; maxima take the maximum.  Like [merged_snapshot], only
+   meaningful (and only permitted) when no worker domain is live. *)
+let merged_histograms () =
+  assert_quiescent "merged_histograms";
+  let names = hist_registry () in
+  let out = Array.map (fun _ -> None) names in
+  let dstates = Mutex.protect lock (fun () -> !all_dstates) in
+  List.iter
+    (fun d ->
+      let m = min (Array.length out) (Array.length d.hists) in
+      for i = 0 to m - 1 do
+        match d.hists.(i) with
+        | None -> ()
+        | Some c ->
+            let acc =
+              match out.(i) with
+              | Some acc -> acc
+              | None ->
+                  let acc =
+                    {
+                      count = 0;
+                      total = 0;
+                      max_value = 0;
+                      buckets = Array.make hist_buckets 0;
+                    }
+                  in
+                  out.(i) <- Some acc;
+                  acc
+            in
+            let acc =
+              {
+                acc with
+                count = acc.count + c.hcount;
+                total = acc.total + c.htotal;
+                max_value = max acc.max_value c.hmax;
+              }
+            in
+            Array.iteri
+              (fun b v -> acc.buckets.(b) <- acc.buckets.(b) + v)
+              c.hbuckets;
+            out.(i) <- Some acc
+      done)
+    dstates;
+  let acc = ref [] in
+  Array.iteri
+    (fun i name ->
+      match out.(i) with
+      | Some h when h.count > 0 -> acc := (name, h) :: !acc
+      | Some _ | None -> ())
+    names;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+(* ---------- GC / allocation accounting ---------- *)
+
+(* Word counts come from [Gc.quick_stat] (no heap walk, no major slice);
+   on OCaml 5 the mutable counters are those of the calling domain, so a
+   span-scoped delta taken on one domain prices that domain's own
+   allocation work. *)
+type gc_cost = {
+  minor_words : int;
+  major_words : int;
+  minor_collections : int;
+  major_collections : int;
+  top_heap_words : int;
+}
+
+(* [quick_stat.minor_words] only advances at minor-collection
+   boundaries on OCaml 5, so a short span between two collections would
+   read as zero allocation; [Gc.minor_words ()] reads the live bump
+   pointer.  The major/collection counters keep quick_stat's
+   collection-boundary resolution. *)
+let gc_now () =
+  let s = Gc.quick_stat () in
+  {
+    minor_words = int_of_float (Gc.minor_words ());
+    major_words = int_of_float s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    top_heap_words = s.Gc.top_heap_words;
+  }
+
+let gc_delta ~(before : gc_cost) ~(after : gc_cost) =
+  {
+    minor_words = after.minor_words - before.minor_words;
+    major_words = after.major_words - before.major_words;
+    minor_collections = after.minor_collections - before.minor_collections;
+    major_collections = after.major_collections - before.major_collections;
+    top_heap_words = after.top_heap_words;  (* a high-water mark *)
+  }
+
+(* The delta as name-sorted snapshot entries, so verdict costs can carry
+   allocation next to counter movement; zero entries are omitted like
+   everywhere else. *)
+let gc_cost_entries (g : gc_cost) : snapshot =
+  List.filter
+    (fun (_, v) -> v <> 0)
+    [
+      ("gc.major_collections", g.major_collections);
+      ("gc.major_words", g.major_words);
+      ("gc.minor_collections", g.minor_collections);
+      ("gc.minor_words", g.minor_words);
+      ("gc.top_heap_words", g.top_heap_words);
+    ]
+
+let merge_snapshots (a : snapshot) (b : snapshot) : snapshot =
+  List.sort (fun (x, _) (y, _) -> String.compare x y) (a @ b)
+
 let reset () =
   Mutex.protect lock (fun () ->
       List.iter
         (fun d ->
           Array.fill d.counts 0 (Array.length d.counts) 0;
+          Array.fill d.hists 0 (Array.length d.hists) None;
           d.evs <- [])
         !all_dstates)
 
@@ -255,6 +501,27 @@ let span_aggregates () =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let pp_histograms fmt hists =
+  Format.fprintf fmt "  %-40s %8s %10s %8s %8s %8s %8s@." "histogram" "count"
+    "mean" "p50" "p90" "p99" "max";
+  List.iter
+    (fun (name, h) ->
+      Format.fprintf fmt "  %-40s %8d %10.1f %8d %8d %8d %8d@." name h.count
+        (mean h) (quantile h 0.5) (quantile h 0.9) (quantile h 0.99)
+        h.max_value)
+    hists
+
+let pp_gc fmt () =
+  let g = gc_now () in
+  Format.fprintf fmt
+    "  minor %.1f Mwords (%d collections), major %.1f Mwords (%d \
+     collections), top heap %.1f Mwords@."
+    (float_of_int g.minor_words /. 1e6)
+    g.minor_collections
+    (float_of_int g.major_words /. 1e6)
+    g.major_collections
+    (float_of_int g.top_heap_words /. 1e6)
+
 let pp_summary fmt () =
   let counters = merged_snapshot () in
   if counters <> [] then begin
@@ -262,6 +529,13 @@ let pp_summary fmt () =
       (List.length !all_dstates);
     pp_snapshot fmt counters
   end;
+  let hists = merged_histograms () in
+  if hists <> [] then begin
+    Format.fprintf fmt "-- histograms (log-bucketed, merged) --@.";
+    pp_histograms fmt hists
+  end;
+  Format.fprintf fmt "-- gc (process totals) --@.";
+  pp_gc fmt ();
   let spans = span_aggregates () in
   if spans <> [] then begin
     Format.fprintf fmt "-- spans --@.";

@@ -1,0 +1,224 @@
+(* Noise-aware comparison of two bench --json artifacts.
+
+   Micro rows are matched by name and their ns/run deltas judged against
+   a regression gate (default 25%), with the tolerance shaped by how
+   trustworthy each measurement is:
+
+   - a row flagged [low_r2] in either artifact is reported but never
+     gated — its OLS fit explains too little of the variance for a delta
+     to mean anything (a third of the shipped rows are in this bucket);
+   - a sub-microsecond row (baseline < 1000 ns) is gated at 4x the gate:
+     at that scale a cache-line move is tens of percent;
+   - everything else is gated at the gate.
+
+   Confidence is derived from the worse of the two r² values (>= 0.95
+   high, >= 0.9 medium, below low — matching the bench's own low_r2
+   threshold), and sub-µs rows are capped at medium.  The
+   [report_all_wall_s] rows (whole experiment-suite walls, measured
+   once) and rows present in only one artifact are reported, never
+   gated. *)
+
+type confidence = High | Medium | Low
+
+type row = {
+  name : string;
+  base_ns : float;
+  next_ns : float;
+  base_r2 : float;
+  next_r2 : float;
+  delta_pct : float;
+  confidence : confidence;
+  gated : bool;
+  tolerance_pct : float;  (* meaningful only when [gated] *)
+  regressed : bool;
+}
+
+type wall_row = { wn : int; base_s : float; next_s : float; wall_delta_pct : float }
+
+type result = {
+  rows : row list;
+  walls : wall_row list;
+  only_base : string list;  (* micro rows missing from the new artifact *)
+  only_next : string list;  (* micro rows new in the new artifact *)
+  gate_pct : float;
+  regressions : int;
+}
+
+let sub_micro_ns = 1000.
+
+let confidence_of ~r2 ~sub_micro =
+  if r2 < 0.9 then Low
+  else if r2 < 0.95 || sub_micro then Medium
+  else High
+
+let confidence_label = function
+  | High -> "high"
+  | Medium -> "medium"
+  | Low -> "low"
+
+(* ---------- artifact decoding ---------- *)
+
+let field_err row what = Error (Printf.sprintf "%s: missing/bad %S" row what)
+
+let micro_rows j =
+  match Json_check.member "micro" j with
+  | Some (Json_check.Arr items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            let str k = Option.bind (Json_check.member k item) Json_check.to_string in
+            let num k = Option.bind (Json_check.member k item) Json_check.to_float in
+            let bool_ k = Option.bind (Json_check.member k item) Json_check.to_bool in
+            match (str "name", num "ns_per_run", num "r2", bool_ "low_r2") with
+            | Some name, Some ns, Some r2, Some low ->
+                go ((name, (ns, r2, low)) :: acc) rest
+            | None, _, _, _ -> field_err "micro row" "name"
+            | Some n, _, _, _ -> field_err n "ns_per_run/r2/low_r2")
+      in
+      go [] items
+  | _ -> Error "artifact has no \"micro\" array"
+
+let wall_rows j =
+  match Json_check.member "report_all_wall_s" j with
+  | Some (Json_check.Arr items) ->
+      List.filter_map
+        (fun item ->
+          match
+            ( Option.bind (Json_check.member "n" item) Json_check.to_int,
+              Option.bind (Json_check.member "seconds" item) Json_check.to_float )
+          with
+          | Some n, Some s -> Some (n, s)
+          | _ -> None)
+        items
+  | _ -> []
+
+let delta_pct ~base ~next =
+  if base <= 0. then 0. else 100. *. (next -. base) /. base
+
+(* ---------- comparison ---------- *)
+
+let compare_artifacts ?(gate_pct = 25.) base next =
+  match (micro_rows base, micro_rows next) with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("new artifact: " ^ e)
+  | Ok b, Ok n ->
+      let rows =
+        List.filter_map
+          (fun (name, (base_ns, base_r2, base_low)) ->
+            match List.assoc_opt name n with
+            | None -> None
+            | Some (next_ns, next_r2, next_low) ->
+                let sub_micro = base_ns < sub_micro_ns in
+                let noisy = base_low || next_low in
+                let tolerance_pct =
+                  if sub_micro then 4. *. gate_pct else gate_pct
+                in
+                let d = delta_pct ~base:base_ns ~next:next_ns in
+                let gated = not noisy in
+                Some
+                  {
+                    name;
+                    base_ns;
+                    next_ns;
+                    base_r2;
+                    next_r2;
+                    delta_pct = d;
+                    confidence =
+                      confidence_of ~r2:(Float.min base_r2 next_r2) ~sub_micro;
+                    gated;
+                    tolerance_pct;
+                    regressed = gated && d > tolerance_pct;
+                  })
+          b
+      in
+      let only_base =
+        List.filter_map
+          (fun (name, _) ->
+            if List.mem_assoc name n then None else Some name)
+          b
+      in
+      let only_next =
+        List.filter_map
+          (fun (name, _) ->
+            if List.mem_assoc name b then None else Some name)
+          n
+      in
+      let wb = wall_rows base and wn = wall_rows next in
+      let walls =
+        List.filter_map
+          (fun (n', base_s) ->
+            match List.assoc_opt n' wn with
+            | None -> None
+            | Some next_s ->
+                Some
+                  {
+                    wn = n';
+                    base_s;
+                    next_s;
+                    wall_delta_pct = delta_pct ~base:base_s ~next:next_s;
+                  })
+          wb
+      in
+      Ok
+        {
+          rows;
+          walls;
+          only_base;
+          only_next;
+          gate_pct;
+          regressions =
+            List.length (List.filter (fun r -> r.regressed) rows);
+        }
+
+(* ---------- rendering ---------- *)
+
+let pp_result fmt r =
+  Format.fprintf fmt "%-32s %14s %14s %8s %6s %-6s %s@." "row" "base-ns"
+    "new-ns" "delta" "conf" "gate" "verdict";
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "%-32s %14.1f %14.1f %+7.1f%% %6s %-6s %s@." row.name
+        row.base_ns row.next_ns row.delta_pct
+        (confidence_label row.confidence)
+        (if row.gated then Printf.sprintf "%.0f%%" row.tolerance_pct else "-")
+        (if row.regressed then "REGRESSED"
+         else if not row.gated then "ungated (low r2)"
+         else "ok"))
+    r.rows;
+  List.iter
+    (fun w ->
+      Format.fprintf fmt "%-32s %13.3fs %13.3fs %+7.1f%% %6s %-6s %s@."
+        (Printf.sprintf "report-all-n%d" w.wn)
+        w.base_s w.next_s w.wall_delta_pct "-" "-" "ungated (wall)")
+    r.walls;
+  List.iter
+    (fun name -> Format.fprintf fmt "%-32s (only in baseline)@." name)
+    r.only_base;
+  List.iter
+    (fun name -> Format.fprintf fmt "%-32s (only in new artifact)@." name)
+    r.only_next;
+  if r.regressions > 0 then
+    Format.fprintf fmt "perfdiff: %d trusted row(s) regressed past %.0f%%@."
+      r.regressions r.gate_pct
+  else
+    Format.fprintf fmt "perfdiff: no trusted row regressed past %.0f%%@."
+      r.gate_pct
+
+(* Full CLI behavior: load, compare, print, exit code.
+   0 = gate passes, 1 = a trusted row regressed, 2 = unreadable input. *)
+let run ?gate_pct base_path next_path =
+  match (Json_check.parse_file base_path, Json_check.parse_file next_path) with
+  | Error e, _ ->
+      Format.eprintf "perfdiff: %s: %s@." base_path e;
+      2
+  | _, Error e ->
+      Format.eprintf "perfdiff: %s: %s@." next_path e;
+      2
+  | Ok base, Ok next -> (
+      match compare_artifacts ?gate_pct base next with
+      | Error e ->
+          Format.eprintf "perfdiff: %s@." e;
+          2
+      | Ok r ->
+          Format.printf "%a" pp_result r;
+          if r.regressions > 0 then 1 else 0)

@@ -1,0 +1,55 @@
+(** Noise-aware comparison of two bench [--json] artifacts.
+
+    Micro rows are matched by name; a row flagged [low_r2] in either
+    artifact is reported but never gated, a sub-microsecond baseline row
+    is gated at 4x the gate, and everything else is gated at the gate
+    (default 25%).  Whole-suite wall rows and rows present in only one
+    artifact are reported, never gated. *)
+
+type confidence = High | Medium | Low
+
+type row = {
+  name : string;
+  base_ns : float;
+  next_ns : float;
+  base_r2 : float;
+  next_r2 : float;
+  delta_pct : float;
+  confidence : confidence;
+  gated : bool;
+  tolerance_pct : float;  (** meaningful only when [gated] *)
+  regressed : bool;
+}
+
+type wall_row = {
+  wn : int;
+  base_s : float;
+  next_s : float;
+  wall_delta_pct : float;
+}
+
+type result = {
+  rows : row list;
+  walls : wall_row list;
+  only_base : string list;
+  only_next : string list;
+  gate_pct : float;
+  regressions : int;
+}
+
+val confidence_label : confidence -> string
+
+val compare_artifacts :
+  ?gate_pct:float ->
+  Json_check.json ->
+  Json_check.json ->
+  (result, string) Stdlib.result
+(** Compare two parsed artifacts; [Error] when either lacks a
+    well-formed ["micro"] array. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val run : ?gate_pct:float -> string -> string -> int
+(** Load both files, print the delta table to stdout, and return the
+    process exit code: 0 gate passes, 1 a trusted row regressed past its
+    tolerance, 2 unreadable input. *)

@@ -22,6 +22,11 @@
 let c_hits = Cr_obs.Obs.counter "compile.cache.hits"
 let c_misses = Cr_obs.Obs.counter "compile.cache.misses"
 
+(* Time spent blocked behind another domain's in-flight compile.  Only
+   populated under CR_JOBS > 1, so (unlike hit/miss totals) it is
+   schedule-dependent — a distribution to eyeball, not an invariant. *)
+let h_wait = Cr_obs.Obs.histogram "compile.cache.wait_us"
+
 type 'a slot = Inflight | Done of 'a Explicit.t
 
 type 'a t = {
@@ -87,28 +92,49 @@ let find_or_compile c ~key ~reinit ~compile =
   if not (enabled ()) then compile ()
   else begin
     Mutex.lock c.m;
+    let wait_start = ref None in
     let rec lookup () =
       match Hashtbl.find_opt c.tbl key with
       | Some (Done v) -> `Hit v
       | Some Inflight ->
+          if !wait_start = None then wait_start := Some (Cr_obs.Obs.now_us ());
           Condition.wait c.cv c.m;
           lookup ()
       | None ->
           Hashtbl.add c.tbl key Inflight;
           `Miss
     in
-    match lookup () with
+    let outcome = lookup () in
+    Mutex.unlock c.m;
+    (match !wait_start with
+    | None -> ()
+    | Some t0 ->
+        let waited = Cr_obs.Obs.now_us () -. t0 in
+        Cr_obs.Obs.observe h_wait (int_of_float waited);
+        Cr_obs.Journal.emit "compile.cache.wait"
+          [ ("key", Cr_obs.Journal.S key); ("wait_us", Cr_obs.Journal.F waited) ]);
+    match outcome with
     | `Hit v ->
-        Mutex.unlock c.m;
         Cr_obs.Obs.incr c_hits;
+        Cr_obs.Journal.emit "compile.cache.hit" [ ("key", Cr_obs.Journal.S key) ];
         let out = reinit v in
         if paranoid () then check_paranoid ~key ~compile out;
         out
     | `Miss -> (
-        Mutex.unlock c.m;
         Cr_obs.Obs.incr c_misses;
+        Cr_obs.Journal.emit "compile.cache.miss"
+          [ ("key", Cr_obs.Journal.S key) ];
+        Cr_obs.Journal.emit "compile.start" [ ("key", Cr_obs.Journal.S key) ];
+        let t0 = Cr_obs.Obs.now_us () in
         match compile () with
         | v ->
+            Cr_obs.Journal.emit "compile.finish"
+              [
+                ("key", Cr_obs.Journal.S key);
+                ("states", Cr_obs.Journal.I (Explicit.num_states v));
+                ("transitions", Cr_obs.Journal.I (Explicit.num_transitions v));
+                ("wall_us", Cr_obs.Journal.F (Cr_obs.Obs.now_us () -. t0));
+              ];
             Mutex.protect c.m (fun () ->
                 Hashtbl.replace c.tbl key (Done v);
                 Condition.broadcast c.cv);

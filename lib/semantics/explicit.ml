@@ -137,6 +137,12 @@ let record_built t =
     Cr_obs.Obs.add c_transitions (num_transitions t);
     Cr_obs.Obs.record_max c_largest (num_states t)
   end;
+  Cr_obs.Journal.emit "explicit.built"
+    [
+      ("name", Cr_obs.Journal.S (name t));
+      ("states", Cr_obs.Journal.I (num_states t));
+      ("transitions", Cr_obs.Journal.I (num_transitions t));
+    ];
   t
 
 let hashtbl_index states name =

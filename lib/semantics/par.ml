@@ -73,12 +73,18 @@ let map_array ?jobs (f : 'a -> 'b) (a : 'a array) : 'b array =
       done;
       Domain.DLS.set inside false
     in
-    (* Strides are disjoint, so each slot of [out] has a unique writer. *)
-    let domains =
-      List.init (jobs - 1) (fun d -> Domain.spawn (worker (d + 1)))
-    in
-    worker 0 ();
-    List.iter Domain.join domains;
+    (* Strides are disjoint, so each slot of [out] has a unique writer.
+       The live-worker bracket lets [Cr_obs.Obs] refuse cross-domain
+       merges while the spawned domains may still be writing. *)
+    Cr_obs.Obs.workers_add (jobs - 1);
+    Fun.protect
+      ~finally:(fun () -> Cr_obs.Obs.workers_add (-(jobs - 1)))
+      (fun () ->
+        let domains =
+          List.init (jobs - 1) (fun d -> Domain.spawn (worker (d + 1)))
+        in
+        worker 0 ();
+        List.iter Domain.join domains);
     Array.map (function Some x -> x | None -> assert false) out
   end
 

@@ -53,6 +53,12 @@ let c_episodes = Cr_obs.Obs.counter "runner.episodes"
 let c_converged = Cr_obs.Obs.counter "runner.converged"
 let c_steps_total = Cr_obs.Obs.counter "runner.steps_total"
 
+(* The convergence-episode length distribution (steps of each converged
+   episode).  Observed on the calling domain in sample order after the
+   fan-out returns, so the merged histogram depends only on the episode
+   multiset — identical for every CR_JOBS. *)
+let h_episode_steps = Cr_obs.Obs.histogram "runner.episode_steps"
+
 (* Monte-Carlo convergence statistics from random corrupted states. *)
 let convergence_stats ?(samples = 200) ?(max_steps = 100_000) ~seed
     ~(converged : Layout.state -> bool) (mk_daemon : int -> Daemon.t)
@@ -83,7 +89,8 @@ let convergence_stats ?(samples = 200) ?(max_steps = 100_000) ~seed
           incr conv;
           total := !total + k;
           if k > !maxi then maxi := k;
-          if k < !mini then mini := k
+          if k < !mini then mini := k;
+          Cr_obs.Obs.observe h_episode_steps k
       | None -> ())
     outcomes;
   if Cr_obs.Obs.tracking () then begin
@@ -91,6 +98,14 @@ let convergence_stats ?(samples = 200) ?(max_steps = 100_000) ~seed
     Cr_obs.Obs.add c_converged !conv;
     Cr_obs.Obs.add c_steps_total !total
   end;
+  Cr_obs.Journal.emit "runner.episodes"
+    [
+      ("program", Cr_obs.Journal.S (Program.name p));
+      ("samples", Cr_obs.Journal.I samples);
+      ("converged", Cr_obs.Journal.I !conv);
+      ("steps_total", Cr_obs.Journal.I !total);
+      ("max_steps_observed", Cr_obs.Journal.I !maxi);
+    ];
   {
     samples;
     converged = !conv;

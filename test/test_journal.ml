@@ -1,0 +1,214 @@
+(* Run-journal (Cr_obs.Journal) tests: stream shape (header, provenance
+   stamps, JSONL validity), CR_JOBS-invariance of the canonicalized
+   event set, and the Json_check JSONL validator. *)
+
+module J = Cr_obs.Json_check
+module Journal = Cr_obs.Journal
+
+let check = Alcotest.(check bool)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  body
+
+let lines body =
+  List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' body)
+
+(* ---------- a small instrumented workload ---------- *)
+
+(* Compile two systems and run the same stabilization check twice: the
+   journal should record the explicit builds, the compile-cache misses
+   (and, on the shared BTR target, a hit), one check-cache miss and one
+   hit, and two stabilize verdicts (the second marked cached). *)
+let run_workload () =
+  let n = 3 in
+  let d3 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 n) in
+  let btr = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program n) in
+  let alpha =
+    Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr3.alpha n) d3 btr
+  in
+  let r1 = Cr_core.Stabilize.stabilizing_to ~alpha ~c:d3 ~a:btr () in
+  let r2 = Cr_core.Stabilize.stabilizing_to ~alpha ~c:d3 ~a:btr () in
+  check "stabilization holds" true
+    (r1.Cr_core.Stabilize.holds && r2.Cr_core.Stabilize.holds)
+
+let journal_of_workload ~jobs =
+  Unix.putenv "CR_JOBS" (string_of_int jobs);
+  Cr_guarded.Program.clear_compile_cache ();
+  Cr_core.Check_cache.clear_all ();
+  let tmp = Filename.temp_file "cr_journal" ".jsonl" in
+  Journal.set_path (Some tmp);
+  run_workload ();
+  Journal.set_path None;
+  Unix.putenv "CR_JOBS" "1";
+  let body = read_file tmp in
+  Sys.remove tmp;
+  body
+
+(* ---------- canonicalization ---------- *)
+
+(* Fields that legitimately differ between runs (or between CR_JOBS
+   settings): provenance stamps, wall-clock durations, and cost
+   snapshots (whose gc.* entries price allocation, which the fan-out
+   redistributes across domains). *)
+let volatile_keys =
+  [ "seq"; "ts_us"; "dom"; "rev"; "jobs"; "wall_us"; "wait_us"; "wall_ms"; "cost" ]
+
+let rec canon (j : J.json) =
+  match j with
+  | J.Null -> "null"
+  | J.Bool b -> string_of_bool b
+  | J.Num f -> Printf.sprintf "%g" f
+  | J.Str s -> Printf.sprintf "%S" s
+  | J.Arr l -> "[" ^ String.concat "," (List.map canon l) ^ "]"
+  | J.Obj kvs ->
+      let kvs = List.sort (fun (a, _) (b, _) -> String.compare a b) kvs in
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k (canon v)) kvs)
+      ^ "}"
+
+(* The journal's CR_JOBS-invariance contract: after dropping the header,
+   the single-flight wait events (whether anyone waited is pure
+   scheduling) and the volatile fields, the same decisions produce the
+   same event set. *)
+let canonical_events body =
+  let evs =
+    List.filter_map
+      (fun line ->
+        let j =
+          match J.parse_string line with
+          | Ok j -> j
+          | Error msg -> Alcotest.failf "journal line unparsable: %s" msg
+        in
+        let ev =
+          match Option.bind (J.member "ev" j) J.to_string with
+          | Some ev -> ev
+          | None -> Alcotest.failf "journal line without ev: %s" line
+        in
+        if ev = "journal.open" || Filename.check_suffix ev ".wait" then None
+        else
+          match j with
+          | J.Obj kvs ->
+              let kept =
+                List.filter
+                  (fun (k, _) -> not (List.mem k volatile_keys))
+                  kvs
+              in
+              Some (canon (J.Obj kept))
+          | _ -> Alcotest.failf "journal line is not an object: %s" line)
+      (lines body)
+  in
+  List.sort String.compare evs
+
+let prop_journal_jobs_invariant =
+  QCheck2.Test.make ~name:"journal event set invariant under CR_JOBS"
+    ~count:2
+    QCheck2.Gen.(oneofl [ 2; 4 ])
+    (fun jobs ->
+      let seq = canonical_events (journal_of_workload ~jobs:1) in
+      let par = canonical_events (journal_of_workload ~jobs) in
+      if seq <> par then
+        QCheck2.Test.fail_reportf "CR_JOBS=1 vs CR_JOBS=%d:@.%s@.vs@.%s" jobs
+          (String.concat "\n" seq) (String.concat "\n" par)
+      else if seq = [] then
+        QCheck2.Test.fail_reportf "journal recorded no events; test is vacuous"
+      else true)
+
+(* ---------- stream shape ---------- *)
+
+let test_journal_stream () =
+  let body = journal_of_workload ~jobs:1 in
+  (match J.validate_jsonl_string body with
+  | Ok n -> check "several events recorded" true (n >= 4)
+  | Error msg -> Alcotest.failf "journal is not valid JSONL: %s" msg);
+  let parsed =
+    List.map
+      (fun l ->
+        match J.parse_string l with
+        | Ok j -> j
+        | Error msg -> Alcotest.failf "unparsable line: %s" msg)
+      (lines body)
+  in
+  (* header first, at seq 0 *)
+  (match parsed with
+  | first :: _ ->
+      check "header event" true
+        (Option.bind (J.member "ev" first) J.to_string = Some "journal.open");
+      check "header seq 0" true
+        (Option.bind (J.member "seq" first) J.to_int = Some 0)
+  | [] -> Alcotest.fail "empty journal");
+  (* every line carries the provenance stamp *)
+  List.iter
+    (fun j ->
+      check "has rev" true (Option.is_some (J.member "rev" j));
+      check "has jobs" true
+        (Option.is_some (Option.bind (J.member "jobs" j) J.to_int));
+      check "has dom" true
+        (Option.is_some (Option.bind (J.member "dom" j) J.to_int)))
+    parsed;
+  (* sequence numbers are 0..n-1 in order (single writer here) *)
+  let seqs =
+    List.map (fun j -> Option.get (Option.bind (J.member "seq" j) J.to_int)) parsed
+  in
+  check "seqs are consecutive from 0" true
+    (seqs = List.init (List.length seqs) Fun.id);
+  (* the workload's decisions all show up *)
+  let evs =
+    List.filter_map (fun j -> Option.bind (J.member "ev" j) J.to_string) parsed
+  in
+  let has prefix =
+    List.exists (fun ev -> String.starts_with ~prefix ev) evs
+  in
+  check "explicit.built recorded" true (has "explicit.built");
+  check "compile.cache traffic recorded" true (has "compile.cache.");
+  check "check.cache traffic recorded" true (has "check.cache.");
+  check "stabilize verdicts recorded" true (has "stabilize.verdict");
+  (* second identical check was answered from the verdict cache *)
+  let cached_verdicts =
+    List.filter
+      (fun j ->
+        Option.bind (J.member "ev" j) J.to_string = Some "stabilize.verdict"
+        && Option.bind (J.member "cached" j) J.to_bool = Some true)
+      parsed
+  in
+  check "one cached verdict" true (List.length cached_verdicts = 1)
+
+(* ---------- JSONL validator ---------- *)
+
+let test_jsonl_validator () =
+  let ok n s =
+    match J.validate_jsonl_string s with
+    | Ok m ->
+        Alcotest.(check int) (Printf.sprintf "accepts %S" s) n m
+    | Error msg -> Alcotest.failf "rejected %S: %s" s msg
+  in
+  let bad s =
+    check (Printf.sprintf "rejects %S" s) true
+      (Result.is_error (J.validate_jsonl_string s))
+  in
+  ok 0 "";
+  ok 0 "\n \n";
+  ok 1 "{\"a\": 1}";
+  ok 2 "{\"a\": 1}\n{\"b\": [true, null]}\n";
+  ok 2 "{}\n\n{}";
+  bad "[1, 2]";
+  (* arrays are valid JSON but not journal lines *)
+  bad "{\"a\": 1}\n[2]";
+  bad "{\"a\":}";
+  bad "{\"a\": 1} {\"b\": 2}"
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "stream shape and provenance" `Quick
+            test_journal_stream;
+          QCheck_alcotest.to_alcotest prop_journal_jobs_invariant;
+          Alcotest.test_case "JSONL validator accept/reject" `Quick
+            test_jsonl_validator;
+        ] );
+    ]

@@ -52,6 +52,66 @@ let prop_counters_jobs_invariant =
           Obs.pp_snapshot seq Obs.pp_snapshot par
       else true)
 
+(* ---------- histogram bucketing and quantiles ---------- *)
+
+let h_test = Obs.histogram "test.hist"
+
+let test_histogram_basics () =
+  Obs.reset ();
+  Obs.force_collect ();
+  List.iter (Obs.observe h_test) [ 0; 1; 1; 2; 3; 7; 1000; -5 ];
+  let stats =
+    match List.assoc_opt "test.hist" (Obs.merged_histograms ()) with
+    | Some h -> h
+    | None -> Alcotest.fail "test.hist not in merged_histograms"
+  in
+  Alcotest.(check int) "count" 8 stats.Obs.count;
+  (* the -5 observation clamps to 0 *)
+  Alcotest.(check int) "total" 1014 stats.Obs.total;
+  Alcotest.(check int) "max exact" 1000 stats.Obs.max_value;
+  (* 4th of 8 sorted obs (0,0,1,1,2,3,7,1000) is 1: p50 lands in the
+     [1,1] bucket whose upper bound is 1 *)
+  Alcotest.(check int) "p50" 1 (Obs.quantile stats 0.5);
+  (* p99 quantizes to the top bucket but clamps to the exact max *)
+  Alcotest.(check int) "p99 clamps to max" 1000 (Obs.quantile stats 0.99);
+  Alcotest.(check (float 0.001)) "mean" 126.75 (Obs.mean stats)
+
+(* ---------- merged histograms are CR_JOBS-invariant ---------- *)
+
+(* Duration histograms ([*_us] names) record wall-clock and are
+   legitimately schedule-dependent; the invariance contract covers the
+   value-shaped ones (episode lengths etc.). *)
+let value_histograms hs =
+  List.filter
+    (fun (name, _) -> not (Filename.check_suffix name "_us"))
+    hs
+
+let hists_after_report ~jobs =
+  Unix.putenv "CR_JOBS" (string_of_int jobs);
+  Cr_guarded.Program.clear_compile_cache ();
+  Cr_core.Check_cache.clear_all ();
+  Obs.reset ();
+  Obs.force_collect ();
+  silently (fun () -> Cr_experiments.Report.all ~ns:[ 2; 3 ] ());
+  let hs = value_histograms (Obs.merged_histograms ()) in
+  Unix.putenv "CR_JOBS" "1";
+  hs
+
+let prop_hists_jobs_invariant =
+  QCheck2.Test.make ~name:"merged histograms invariant under CR_JOBS"
+    ~count:2
+    QCheck2.Gen.(oneofl [ 2; 4 ])
+    (fun jobs ->
+      let seq = hists_after_report ~jobs:1 in
+      let par = hists_after_report ~jobs in
+      if seq <> par then
+        QCheck2.Test.fail_reportf "CR_JOBS=1 vs CR_JOBS=%d:@.%a@.vs@.%a" jobs
+          Obs.pp_histograms seq Obs.pp_histograms par
+      else if seq = [] then
+        QCheck2.Test.fail_reportf
+          "no value-shaped histograms recorded; invariance check is vacuous"
+      else true)
+
 (* ---------- span nesting is well-formed ---------- *)
 
 (* On each domain the recorded spans must form a laminar family: any two
@@ -184,6 +244,9 @@ let () =
       ( "telemetry",
         [
           QCheck_alcotest.to_alcotest prop_counters_jobs_invariant;
+          Alcotest.test_case "histogram bucketing and quantiles" `Quick
+            test_histogram_basics;
+          QCheck_alcotest.to_alcotest prop_hists_jobs_invariant;
           Alcotest.test_case "span nesting well-formed" `Quick
             test_span_nesting;
           Alcotest.test_case "CR_TRACE export is valid JSON" `Quick
