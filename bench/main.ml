@@ -42,6 +42,7 @@ let micro_tests () =
   let alpha3_6 =
     Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr3.alpha 6) d3_6 btr_6
   in
+  let d3_6_prog = Cr_tokenring.Btr3.dijkstra3 6 in
   let d3_7 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 7) in
   let d3_7_csr = Cr_checker.Reach.of_explicit d3_7 in
   let d3_7_rows = Cr_checker.Csr.to_rows d3_7_csr in
@@ -160,6 +161,19 @@ let micro_tests () =
              ignore
                (Cr_core.Stabilize.stabilizing_to ~alpha:alpha3_5 ~c:d3_5
                   ~a:btr_5 ()))) );
+    (* lint v1 (exact battery alone) vs lint v2 (flow engine feeding the
+       exact battery through the init-dead pre-filter) on the same ring,
+       plus the abstract interpreter on its own — the exact-vs-flow
+       audit-cost comparison of the PR 8 artifact *)
+    ( Slow,
+      Test.make ~name:"lint-exact-dijkstra3-n6"
+        (Staged.stage (fun () -> ignore (Cr_lint.Lint.run d3_6_prog))) );
+    ( Slow,
+      Test.make ~name:"lint-v2-dijkstra3-n6"
+        (Staged.stage (fun () -> ignore (Cr_flow.Flow.lint d3_6_prog))) );
+    ( Slow,
+      Test.make ~name:"flow-analyze-dijkstra3-n6"
+        (Staged.stage (fun () -> ignore (Cr_flow.Flow.analyze d3_6_prog))) );
     ( Normal,
       Test.make ~name:"E14-recovery-episode"
         (Staged.stage (fun () ->
@@ -325,15 +339,9 @@ let json_of_float_opt = function
   | Some v when Float.is_finite v -> Printf.sprintf "%.4f" v
   | Some _ | None -> "null"
 
-let git_rev () =
-  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
-  | exception _ -> "unknown"
-  | ic -> (
-      let line = try input_line ic with End_of_file -> "" in
-      match (Unix.close_process_in ic, line) with
-      | Unix.WEXITED 0, rev when rev <> "" -> rev
-      | _ -> "unknown"
-      | exception _ -> "unknown")
+(* Process-wide resolved revision, shared with the journal stamps and
+   the crcheck artifact headers. *)
+let git_rev () = Cr_obs.Journal.git_rev ()
 
 (* Merged telemetry counters for the JSON artifact.  When CR_STATS/CR_TRACE
    are unset the timed runs above executed with collection disabled (so the

@@ -22,13 +22,27 @@ dune exec bin/crcheck.exe -- lint --all --json "$lintjson" > /dev/null
 test -s "$lintjson" || { echo "ci: lint --json produced no output" >&2; exit 1; }
 dune exec bin/trace_lint.exe -- --json-only "$lintjson"
 
+# Abstract-interpretation gate: the flow audit must be error-clean over
+# the whole registry, its definite verdicts must agree with exact
+# enumeration at N = 3 (--check-exact), its --json artifact must be
+# well-formed, and the journal stream must carry the flow.report events.
+flowjson=$(mktemp /tmp/cr.flow.XXXXXX)
+flowjournal=$(mktemp /tmp/cr.flowj.XXXXXX)
+trap 'rm -f "$trace" "$lintjson" "$flowjson" "$flowjournal"' EXIT
+: > "$flowjournal"
+CR_JOURNAL="$flowjournal" dune exec bin/crcheck.exe -- flow --all -n 3 \
+  --check-exact --json "$flowjson" > /dev/null
+test -s "$flowjson" || { echo "ci: flow --json produced no output" >&2; exit 1; }
+dune exec bin/trace_lint.exe -- --json-only "$flowjson"
+dune exec bin/journal_lint.exe -- "$flowjournal" --expect flow.report
+
 # Compile-cache smoke: verifying btr compiles the program and its spec,
 # which are the same system, so the chunked+memoized compiler must report
 # at least one cache hit in the CR_STATS summary.  btr itself is the
 # fault-INtolerant abstract ring, so verify may exit 1 — only a crash or
 # a usage error (exit > 1) fails the gate.
 cachelog=$(mktemp /tmp/cr.cache.XXXXXX)
-trap 'rm -f "$trace" "$lintjson" "$cachelog"' EXIT
+trap 'rm -f "$trace" "$lintjson" "$flowjson" "$flowjournal" "$cachelog"' EXIT
 rc=0
 CR_JOBS=2 CR_STATS=1 dune exec bin/crcheck.exe -- verify btr --stats \
   > /dev/null 2> "$cachelog" || rc=$?
@@ -47,7 +61,7 @@ hits=$(sed -n 's/^ *compile\.cache\.hits *\([0-9][0-9]*\)$/\1/p' "$cachelog")
 expout=$(mktemp /tmp/cr.exp.XXXXXX)
 expout0=$(mktemp /tmp/cr.exp0.XXXXXX)
 explog=$(mktemp /tmp/cr.explog.XXXXXX)
-trap 'rm -f "$trace" "$lintjson" "$cachelog" "$expout" "$expout0" "$explog"' EXIT
+trap 'rm -f "$trace" "$lintjson" "$flowjson" "$flowjournal" "$cachelog" "$expout" "$expout0" "$explog"' EXIT
 CR_JOBS=2 CR_STATS=1 dune exec bin/crcheck.exe -- experiments --max-n 3 \
   > /dev/null 2> "$explog"
 checkhits=$(sed -n 's/^ *check\.cache\.hits *\([0-9][0-9]*\)$/\1/p' "$explog")
@@ -71,7 +85,7 @@ cmp -s "$expout" "$expout0" || {
 # Journal smoke: a CR_JOURNAL run must produce a lintable JSONL stream
 # that records the compile-cache traffic and the stabilize verdict.
 journal=$(mktemp /tmp/cr.journal.XXXXXX)
-trap 'rm -f "$trace" "$lintjson" "$cachelog" "$expout" "$expout0" "$explog" "$journal"' EXIT
+trap 'rm -f "$trace" "$lintjson" "$flowjson" "$flowjournal" "$cachelog" "$expout" "$expout0" "$explog" "$journal"' EXIT
 : > "$journal"
 CR_JOURNAL="$journal" dune exec bin/crcheck.exe -- verify dijkstra3 -n 3 > /dev/null
 test -s "$journal" || { echo "ci: CR_JOURNAL produced no output" >&2; exit 1; }
@@ -82,18 +96,20 @@ dune exec bin/journal_lint.exe -- "$journal" \
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR4.json
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR6.json
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR7.json
+dune exec bin/trace_lint.exe -- --json-only BENCH_PR8.json
 
 # Perf-regression gate: the committed baseline must self-diff cleanly
-# (exit 0, no regressions), and a fresh artifact from this machine must
-# stay within a generous cross-machine gate of the committed baseline.
-# Low-r^2 rows are never gated and sub-microsecond rows get 4x slack,
-# so this catches order-of-magnitude regressions without flaking on
-# scheduler noise.
-dune exec bin/perfdiff.exe -- BENCH_PR6.json BENCH_PR6.json > /dev/null
+# (exit 0, no regressions), the PR 8 artifact must stay within the
+# generous cross-machine gate of the PR 7 baseline, and a fresh artifact
+# from this machine must stay within it too.  Low-r^2 rows are never
+# gated and sub-microsecond rows get 4x slack, so this catches
+# order-of-magnitude regressions without flaking on scheduler noise.
+dune exec bin/perfdiff.exe -- BENCH_PR7.json BENCH_PR7.json > /dev/null
+dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR7.json BENCH_PR8.json > /dev/null
 if [ "${CI_BENCH:-0}" = "1" ]; then
-  dune exec bench/main.exe -- --json BENCH_PR7.json > /dev/null
-  dune exec bin/trace_lint.exe -- --json-only BENCH_PR7.json
-  dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR6.json BENCH_PR7.json
+  dune exec bench/main.exe -- --json BENCH_PR8.json > /dev/null
+  dune exec bin/trace_lint.exe -- --json-only BENCH_PR8.json
+  dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR7.json BENCH_PR8.json
 fi
 
 echo "ci: OK"

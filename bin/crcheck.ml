@@ -6,6 +6,7 @@
      crcheck trace SYSTEM [-n N] ...     inject faults and print recovery
      crcheck kstate [-n N] [-k K]        K-state threshold exploration
      crcheck lint SYSTEM|--all [-n N]    static analysis of the programs
+     crcheck flow SYSTEM|--all [-n N]    abstract interpretation + stair
      crcheck perfdiff A.json B.json      noise-aware bench regression gate
 *)
 
@@ -312,6 +313,10 @@ let lint name all n json stats =
                   ( "severity",
                     Cr_obs.Journal.S
                       (Cr_lint.Lint.severity_string f.Cr_lint.Lint.severity) );
+                  ( "provenance",
+                    Cr_obs.Journal.S
+                      (Cr_lint.Lint.provenance_string f.Cr_lint.Lint.provenance)
+                  );
                   ("program", Cr_obs.Journal.S f.Cr_lint.Lint.program);
                   ("action", Cr_obs.Journal.S f.Cr_lint.Lint.action);
                 ])
@@ -370,6 +375,224 @@ let lint_cmd =
           error-severity findings.")
     Term.(const lint $ system_opt $ all_arg $ n_arg $ json_arg $ stats_arg)
 
+(* ---- flow ---- *)
+
+(* --check-exact: confirm the flow engine's verdicts against the exact
+   battery on the same read/write sets.  Dead-under-⊤ must coincide with
+   the exact full-space U1 set, F2-exact with D1, and every abstract
+   dead-from-init claim must be confirmed by the exact reachable
+   closure (the exact set may be larger — flow is allowed to be
+   inconclusive, never wrong). *)
+let flow_check_exact (row : Cr_experiments.Flow_exps.row) =
+  let fl = row.Cr_experiments.Flow_exps.flow in
+  if fl.Cr_flow.Flow.degraded then []
+  else begin
+    let infos =
+      List.map (fun f -> f.Cr_flow.Flow.info) fl.Cr_flow.Flow.facts
+    in
+    let exact =
+      Cr_lint.Lint.run
+        ~allow:row.Cr_experiments.Flow_exps.entry.Cr_experiments.Registry.lint_allow
+        ~infos fl.Cr_flow.Flow.program
+    in
+    let sys = row.Cr_experiments.Flow_exps.entry.Cr_experiments.Registry.name in
+    let labels key sev =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (f : Cr_lint.Lint.finding) ->
+             if f.Cr_lint.Lint.key = key && f.Cr_lint.Lint.severity = sev then
+               Some f.Cr_lint.Lint.action
+             else None)
+           exact.Cr_lint.Lint.findings)
+    in
+    let flow_labels pred =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (f : Cr_flow.Flow.fact) ->
+             if pred f then
+               Some (Cr_guarded.Action.label f.Cr_flow.Flow.info.Cr_lint.Rwsets.action)
+             else None)
+           fl.Cr_flow.Flow.facts)
+    in
+    let errs = ref [] in
+    let dead_top = flow_labels (fun f -> not f.Cr_flow.Flow.top_enabled) in
+    let u1_full = labels "U1" Cr_lint.Lint.Warning in
+    if dead_top <> u1_full then
+      errs :=
+        Printf.sprintf
+          "%s: flow dead-under-⊤ {%s} <> exact full-space U1 {%s}" sys
+          (String.concat "," dead_top)
+          (String.concat "," u1_full)
+        :: !errs;
+    let f2_exact =
+      flow_labels (fun f -> f.Cr_flow.Flow.info.Cr_lint.Rwsets.invalid_witness <> None)
+    in
+    let d1 = labels "D1" Cr_lint.Lint.Error in
+    if f2_exact <> d1 then
+      errs :=
+        Printf.sprintf "%s: flow F2-exact {%s} <> exact D1 {%s}" sys
+          (String.concat "," f2_exact)
+          (String.concat "," d1)
+        :: !errs;
+    let dead_init =
+      flow_labels (fun f -> f.Cr_flow.Flow.init_enabled = Some false)
+    in
+    let u1_init = labels "U1" Cr_lint.Lint.Info in
+    List.iter
+      (fun lbl ->
+        if not (List.mem lbl u1_init) && not (List.mem lbl u1_full) then
+          errs :=
+            Printf.sprintf
+              "%s: flow claims %s dead from init, exact closure disagrees" sys
+              lbl
+            :: !errs)
+      dead_init;
+    List.rev !errs
+  end
+
+let flow_run name all n json stats check_exact =
+  if stats then Cr_obs.Obs.force_enable ();
+  let audit_rows () =
+    match (all, name) with
+    | true, None -> Ok (Cr_experiments.Flow_exps.audit ~n ())
+    | false, Some name -> (
+        match Cr_experiments.Registry.find name with
+        | Some e -> Ok [ Cr_experiments.Flow_exps.audit_entry ~n e ]
+        | None ->
+            Format.eprintf "unknown system %S; try: %s@." name
+              (String.concat ", " (Cr_experiments.Registry.names ()));
+            Error 2)
+    | true, Some _ | false, None ->
+        Format.eprintf "flow: give exactly one of SYSTEM or --all@.";
+        Error 2
+  in
+  let before = if stats then Some (Cr_obs.Obs.merged_snapshot ()) else None in
+  match audit_rows () with
+  | Error rc -> rc
+  | Ok rows ->
+      List.iter
+        (fun (row : Cr_experiments.Flow_exps.row) ->
+          let fl = row.Cr_experiments.Flow_exps.flow in
+          pf "%a" Cr_experiments.Flow_exps.pp_row row;
+          Cr_obs.Journal.emit "flow.report"
+            [
+              ( "system",
+                Cr_obs.Journal.S
+                  row.Cr_experiments.Flow_exps.entry.Cr_experiments.Registry.name
+              );
+              ( "program",
+                Cr_obs.Journal.S (Cr_guarded.Program.name fl.Cr_flow.Flow.program)
+              );
+              ("degraded", Cr_obs.Journal.B fl.Cr_flow.Flow.degraded);
+              ("errors", Cr_obs.Journal.I (Cr_flow.Flow.errors fl));
+              ( "findings",
+                Cr_obs.Journal.I (List.length fl.Cr_flow.Flow.findings) );
+              ( "stair_depth",
+                Cr_obs.Journal.I
+                  (match row.Cr_experiments.Flow_exps.rank with
+                  | None -> 0
+                  | Some rk -> Cr_flow.Rank.depth rk) );
+            ];
+          List.iter
+            (fun (f : Cr_lint.Lint.finding) ->
+              Cr_obs.Journal.emit "flow.finding"
+                [
+                  ( "system",
+                    Cr_obs.Journal.S
+                      row.Cr_experiments.Flow_exps.entry
+                        .Cr_experiments.Registry.name );
+                  ("check", Cr_obs.Journal.S f.Cr_lint.Lint.key);
+                  ( "severity",
+                    Cr_obs.Journal.S
+                      (Cr_lint.Lint.severity_string f.Cr_lint.Lint.severity) );
+                  ( "provenance",
+                    Cr_obs.Journal.S
+                      (Cr_lint.Lint.provenance_string f.Cr_lint.Lint.provenance)
+                  );
+                  ("program", Cr_obs.Journal.S f.Cr_lint.Lint.program);
+                  ("action", Cr_obs.Journal.S f.Cr_lint.Lint.action);
+                ])
+            fl.Cr_flow.Flow.findings)
+        rows;
+      let errors = Cr_experiments.Flow_exps.total_errors rows in
+      let findings =
+        List.fold_left
+          (fun acc (r : Cr_experiments.Flow_exps.row) ->
+            acc
+            + List.length
+                r.Cr_experiments.Flow_exps.flow.Cr_flow.Flow.findings)
+          0 rows
+      in
+      let disagreements =
+        if check_exact then List.concat_map flow_check_exact rows else []
+      in
+      List.iter
+        (fun msg -> Format.eprintf "flow: exact disagreement: %s@." msg)
+        disagreements;
+      pf "flow: %d system(s), %d finding(s), %d error(s)%s@."
+        (List.length rows) findings errors
+        (if check_exact then
+           Printf.sprintf ", %d exact disagreement(s)"
+             (List.length disagreements)
+         else "");
+      (match json with
+      | None -> ()
+      | Some path ->
+          let body = Cr_experiments.Flow_exps.to_json ~n rows in
+          (match Cr_obs.Json_check.validate_string body with
+          | Ok () -> ()
+          | Error msg ->
+              Format.eprintf "flow: internal error: --json artifact invalid: %s@."
+                msg;
+              exit 3);
+          let oc = open_out path in
+          output_string oc body;
+          close_out oc;
+          pf "wrote %s@." path);
+      (match before with
+      | Some before ->
+          pp_cost "flow"
+            (Some (Cr_obs.Obs.diff ~before ~after:(Cr_obs.Obs.merged_snapshot ())))
+      | None -> ());
+      if errors > 0 || disagreements <> [] then 1 else 0
+
+let flow_cmd =
+  let system_opt =
+    let doc =
+      "System to analyze; see $(b,crcheck list).  Omit with $(b,--all)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Analyze every registry system.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the audit as JSON to FILE.")
+  in
+  let check_exact_arg =
+    Arg.(
+      value & flag
+      & info [ "check-exact" ]
+          ~doc:
+            "Cross-check every flow verdict against the exact battery \
+             (intended for small N); exits nonzero on any disagreement.")
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Abstract interpretation of the guarded-command programs: \
+          per-slot domains, transfer functions localized by exact \
+          read/write sets, fixpoints from ⊤ and from the initial \
+          predicate, dead-guard/domain/constant-slot findings, and the \
+          convergence-stair layering of the slot dependency graph.  \
+          Exits nonzero on error-severity findings.")
+    Term.(
+      const flow_run $ system_opt $ all_arg $ n_arg $ json_arg $ stats_arg
+      $ check_exact_arg)
+
 (* ---- perfdiff ---- *)
 
 let perfdiff_cmd =
@@ -422,6 +645,6 @@ let experiments_cmd =
 let main =
   let doc = "model checking and refinement checking for Convergence Refinement" in
   let info = Cmd.info "crcheck" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; verify_cmd; refine_cmd; trace_cmd; kstate_cmd; spans_cmd; dot_cmd; lint_cmd; perfdiff_cmd; experiments_cmd ]
+  Cmd.group info [ list_cmd; verify_cmd; refine_cmd; trace_cmd; kstate_cmd; spans_cmd; dot_cmd; lint_cmd; flow_cmd; perfdiff_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval' main)

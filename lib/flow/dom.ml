@@ -1,0 +1,125 @@
+(* Per-slot abstract values: an exact bit-mask value-set for the small
+   finite domains of every bundled system, with an interval fallback for
+   domains too wide to pack into an int.  Mask operations are exact set
+   operations; interval joins widen to the hull, which keeps every
+   operation a sound over-approximation. *)
+
+let max_mask_dom = Sys.int_size - 2
+
+type t =
+  | Mask of { dom : int; bits : int }
+  | Range of { dom : int; lo : int; hi : int }  (* empty iff lo > hi *)
+
+let check_dom name d =
+  if d < 1 then invalid_arg (Printf.sprintf "Dom.%s: empty domain" name)
+
+let bottom d =
+  check_dom "bottom" d;
+  if d <= max_mask_dom then Mask { dom = d; bits = 0 }
+  else Range { dom = d; lo = 1; hi = 0 }
+
+let top d =
+  check_dom "top" d;
+  if d <= max_mask_dom then Mask { dom = d; bits = (1 lsl d) - 1 }
+  else Range { dom = d; lo = 0; hi = d - 1 }
+
+let check_val name d v =
+  if v < 0 || v >= d then
+    invalid_arg (Printf.sprintf "Dom.%s: value %d outside 0..%d" name v (d - 1))
+
+let singleton d v =
+  check_dom "singleton" d;
+  check_val "singleton" d v;
+  if d <= max_mask_dom then Mask { dom = d; bits = 1 lsl v }
+  else Range { dom = d; lo = v; hi = v }
+
+let dom = function Mask { dom; _ } -> dom | Range { dom; _ } -> dom
+
+let is_bottom = function
+  | Mask { bits; _ } -> bits = 0
+  | Range { lo; hi; _ } -> lo > hi
+
+let is_top = function
+  | Mask { dom; bits } -> bits = (1 lsl dom) - 1
+  | Range { dom; lo; hi } -> lo = 0 && hi = dom - 1
+
+let mem t v =
+  match t with
+  | Mask { dom; bits } -> v >= 0 && v < dom && bits land (1 lsl v) <> 0
+  | Range { lo; hi; _ } -> v >= lo && v <= hi
+
+let add t v =
+  check_val "add" (dom t) v;
+  match t with
+  | Mask m -> Mask { m with bits = m.bits lor (1 lsl v) }
+  | Range r ->
+      if r.lo > r.hi then Range { r with lo = v; hi = v }
+      else Range { r with lo = min r.lo v; hi = max r.hi v }
+
+let join a b =
+  if dom a <> dom b then invalid_arg "Dom.join: mismatched domains";
+  match (a, b) with
+  | Mask m, Mask m' -> Mask { m with bits = m.bits lor m'.bits }
+  | Range r, Range r' ->
+      if r.lo > r.hi then b
+      else if r'.lo > r'.hi then a
+      else Range { r with lo = min r.lo r'.lo; hi = max r.hi r'.hi }
+  | _ -> assert false (* representation is determined by the domain *)
+
+let equal a b =
+  dom a = dom b
+  &&
+  match (a, b) with
+  | Mask m, Mask m' -> m.bits = m'.bits
+  | Range r, Range r' ->
+      (r.lo > r.hi && r'.lo > r'.hi) || (r.lo = r'.lo && r.hi = r'.hi)
+  | _ -> false
+
+let count = function
+  | Mask { bits; _ } ->
+      let n = ref 0 and b = ref bits in
+      while !b <> 0 do
+        b := !b land (!b - 1);
+        incr n
+      done;
+      !n
+  | Range { lo; hi; _ } -> if lo > hi then 0 else hi - lo + 1
+
+let is_singleton t = count t = 1
+
+let choose = function
+  | Mask { bits; _ } when bits <> 0 ->
+      let v = ref 0 in
+      while bits land (1 lsl !v) = 0 do
+        incr v
+      done;
+      !v
+  | Range { lo; hi; _ } when lo <= hi -> lo
+  | _ -> invalid_arg "Dom.choose: bottom"
+
+let iter f = function
+  | Mask { dom; bits } ->
+      for v = 0 to dom - 1 do
+        if bits land (1 lsl v) <> 0 then f v
+      done
+  | Range { lo; hi; _ } ->
+      for v = lo to hi do
+        f v
+      done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) t;
+  List.rev !acc
+
+let of_list d vs = List.fold_left add (bottom d) vs
+
+let pp fmt t =
+  if is_bottom t then Fmt.string fmt "⊥"
+  else if is_top t then Fmt.string fmt "⊤"
+  else
+    match t with
+    | Mask _ ->
+        Fmt.pf fmt "{%s}"
+          (String.concat "," (List.map string_of_int (to_list t)))
+    | Range { lo; hi; _ } -> Fmt.pf fmt "[%d..%d]" lo hi

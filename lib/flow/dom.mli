@@ -1,0 +1,54 @@
+(** Per-slot abstract values for the flow engine.
+
+    A value abstracts the set of digits a {!Cr_guarded.Layout} slot can
+    hold: a small value-set (bit mask) for the finite domains every
+    bundled system uses, falling back to an interval hull for domains
+    too wide to pack into an [int].  All operations are sound
+    over-approximations; on masks they are exact. *)
+
+type t
+
+val max_mask_dom : int
+(** Largest domain represented exactly as a bit mask; wider domains use
+    the interval representation (joins widen to the hull). *)
+
+val bottom : int -> t
+(** [bottom dom]: the empty set over [0..dom-1]. *)
+
+val top : int -> t
+(** [top dom]: the full domain. *)
+
+val singleton : int -> int -> t
+(** [singleton dom v].  Raises [Invalid_argument] if [v] is outside
+    [0..dom-1]. *)
+
+val of_list : int -> int list -> t
+
+val dom : t -> int
+
+val mem : t -> int -> bool
+(** May over-approximate on intervals (hull membership). *)
+
+val add : t -> int -> t
+(** Join with a singleton.  Raises [Invalid_argument] out of domain. *)
+
+val join : t -> t -> t
+(** Raises [Invalid_argument] on mismatched domains. *)
+
+val equal : t -> t -> bool
+val is_bottom : t -> bool
+val is_top : t -> bool
+val is_singleton : t -> bool
+
+val count : t -> int
+(** Number of representable values (interval hull width on ranges). *)
+
+val choose : t -> int
+(** Smallest member.  Raises [Invalid_argument] on bottom. *)
+
+val to_list : t -> int list
+(** Members in increasing order (hull enumeration on ranges). *)
+
+val iter : (int -> unit) -> t -> unit
+
+val pp : Format.formatter -> t -> unit

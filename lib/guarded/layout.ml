@@ -82,6 +82,35 @@ let unrank t k =
 (* Enumerate all states in mixed-radix order (slot 0 fastest). *)
 let enumerate t = List.init (num_states t) (unrank t)
 
+(* Allocation-free full-space iteration: one scratch state is advanced
+   in place through the mixed-radix order (slot 0 is the odometer's
+   fastest digit), so visiting all states costs O(1) amortized writes
+   per state instead of one fresh array each.  The callback must not
+   retain [s]. *)
+let iter_states t f =
+  let n = Array.length t.vars in
+  let ns = num_states t in
+  if ns > 0 then begin
+    let s = Array.make n 0 in
+    f 0 s;
+    for k = 1 to ns - 1 do
+      let i = ref 0 in
+      let carry = ref true in
+      while !carry do
+        let d = t.vars.(!i).dom in
+        if s.(!i) + 1 < d then begin
+          s.(!i) <- s.(!i) + 1;
+          carry := false
+        end
+        else begin
+          s.(!i) <- 0;
+          incr i
+        end
+      done;
+      f k s
+    done
+  end
+
 (* Fused validity test + rank: [-1] when the state is outside the
    layout.  One pass, no allocation — the innermost operation of the
    explicit compiler, which ranks every successor of every state. *)

@@ -45,6 +45,12 @@ val weight : t -> int -> int
 val enumerate : t -> state list
 (** All states, in mixed-radix order (slot 0 fastest). *)
 
+val iter_states : t -> (int -> state -> unit) -> unit
+(** [iter_states t f] calls [f rank state] for every state in
+    {!enumerate} order, advancing one shared scratch array in place —
+    no per-state allocation, for full-space analysis passes.  [f] must
+    not retain the state (copy it if needed). *)
+
 val valid : t -> state -> bool
 
 val pp_state : t -> Format.formatter -> state -> unit

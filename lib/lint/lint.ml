@@ -27,7 +27,14 @@
                  atomic read step (single verbatim copy of one remote
                  slot into a private slot), the refinement shape that
                  makes the hazard disappear in the rw_atomicity system
-     L1 error    duplicate action labels across a box composition *)
+     L1 error    duplicate action labels across a box composition
+     B1 info     budget: the state space exceeds the exact-analysis
+                 budget, so the exact battery was skipped
+
+   Since lint v2 every finding carries a provenance tag: [Exact] for
+   verdicts from full enumeration, [Abstract] for definite verdicts
+   derived from the Cr_flow over-approximating fixpoints (which also
+   contributes its own F1/F2/F3 keys via [merge]). *)
 
 open Cr_guarded
 
@@ -38,9 +45,19 @@ let severity_string = function
   | Warning -> "warning"
   | Info -> "info"
 
+(* How a finding was established.  [Exact] verdicts come from full
+   enumeration (Rwsets differencing, reachable closures, localized
+   scans); [Abstract] verdicts come from a sound over-approximation
+   (Cr_flow fixpoints) — still definite, but derived without visiting
+   the concrete states. *)
+type provenance = Exact | Abstract
+
+let provenance_string = function Exact -> "exact" | Abstract -> "abstract"
+
 type finding = {
   key : string;
   severity : severity;
+  provenance : provenance;
   program : string;
   action : string;  (* "-" for program-level findings *)
   message : string;
@@ -141,52 +158,102 @@ let check_ownership layout mk ~allowed infos =
 
 (* G1: two actions of one process both fire at some state with different
    results under the synchronous daemon's merge of declared writes — the
-   first-enabled-per-process choice is then order-dependent. *)
-let check_sync_overlap layout mk p =
+   first-enabled-per-process choice is then order-dependent.
+
+   The scan is pair-localized: whether a same-process pair conflicts
+   somewhere is a function of the slots in
+
+     U = guard_reads(a) + guard_reads(b) + effect_reads(a)
+       + effect_reads(b) + declared_writes(a) + declared_writes(b)
+
+   only.  Guards depend exactly on their guard-read slots, written
+   outputs among enabled states depend exactly on the effect-read slots
+   (Rwsets' differencing theorems), and the synchronous merge copies
+   declared slots — so the whole conflict predicate is invariant under
+   changing any slot outside U, and enumerating the U-product with
+   every other slot pinned at 0 decides the pair exactly.  Cost drops
+   from O(num_states * procs) to the (typically tiny) per-pair support
+   product; a pair whose product still exceeds [budget] is skipped
+   (inconclusive), so huge layouts degrade instead of blowing up. *)
+let check_sync_overlap layout mk ~budget infos =
   Cr_obs.Obs.span "lint.g1_scan" @@ fun () ->
-  let ns = Layout.num_states layout in
-  let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let nv = Layout.num_vars layout in
   let fs = ref [] in
-  let masked s (a, target) =
-    let s' = Array.copy s in
-    List.iter
-      (fun i ->
-        if i >= 0 && i < Array.length target then s'.(i) <- target.(i))
-      (Action.writes a);
-    s'
+  (* Exact writes join the support because the fire/no-op distinction
+     (a no-op is not a firing, so it never enters the synchronous merge)
+     compares effect outputs against the state's own written slots. *)
+  let support info =
+    List.sort_uniq compare
+      (info.Rwsets.guard_reads @ info.Rwsets.effect_reads
+      @ info.Rwsets.writes
+      @ List.filter
+          (fun i -> i >= 0 && i < nv)
+          (Action.writes info.Rwsets.action))
   in
-  for k = 0 to ns - 1 do
-    let s = Layout.unrank layout k in
-    let firings = Program.firings p s in
-    let by_proc = Hashtbl.create 4 in
-    List.iter
-      (fun ((a, _) as f) ->
-        let pr = Action.proc a in
-        Hashtbl.replace by_proc pr (f :: (try Hashtbl.find by_proc pr with Not_found -> [])))
-      firings;
-    Hashtbl.iter
-      (fun pr fires ->
-        match List.rev fires with
-        | [] | [ _ ] -> ()
-        | first :: rest ->
-            let m0 = masked s first in
-            List.iter
-              (fun ((b, _) as fb) ->
-                let key = (Action.label (fst first), Action.label b) in
-                if not (Hashtbl.mem seen key) && masked s fb <> m0 then begin
-                  Hashtbl.add seen key ();
-                  fs :=
-                    mk "G1" Warning (Action.label (fst first))
-                      (Printf.sprintf
-                         "actions %s and %s of process %d both fire at %s \
-                          with different synchronous-merge results \
-                          (synchronous_step is action-order dependent)"
-                         (Action.label (fst first)) (Action.label b) pr
-                         (state_str layout s))
-                    :: !fs
-                end)
-              rest)
-      by_proc
+  let conflict ia ib =
+    let a = ia.Rwsets.action and b = ib.Rwsets.action in
+    let da = List.filter (fun i -> i >= 0 && i < nv) (Action.writes a) in
+    let db = List.filter (fun i -> i >= 0 && i < nv) (Action.writes b) in
+    let u = List.sort_uniq compare (support ia @ support ib) in
+    let product =
+      List.fold_left (fun acc i -> acc * Layout.dom layout i) 1 u
+    in
+    if product > budget then None
+    else begin
+      let u = Array.of_list u in
+      let s = Array.make nv 0 in
+      let witness = ref None in
+      let k = ref 0 in
+      while !witness = None && !k < product do
+        (* decode combo !k into the U slots of the scratch state *)
+        let r = ref !k in
+        Array.iter
+          (fun i ->
+            let d = Layout.dom layout i in
+            s.(i) <- !r mod d;
+            r := !r / d)
+          u;
+        if a.Action.guard s && b.Action.guard s then begin
+          let sa = a.Action.effect s and sb = b.Action.effect s in
+          (* Only genuine firings enter the synchronous merge. *)
+          if sa <> s && sb <> s then begin
+            let pick s' decl w =
+              if List.mem w decl && w < Array.length s' then s'.(w) else s.(w)
+            in
+            if
+              List.exists
+                (fun w -> pick sa da w <> pick sb db w)
+                (List.sort_uniq compare (da @ db))
+            then witness := Some (Array.copy s)
+          end
+        end;
+        incr k
+      done;
+      Option.map (fun w -> (w, product)) !witness
+    end
+  in
+  let infos = Array.of_list infos in
+  let n = Array.length infos in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ia = infos.(i) and ib = infos.(j) in
+      let pr = Action.proc ia.Rwsets.action in
+      if pr = Action.proc ib.Rwsets.action then
+        match conflict ia ib with
+        | None -> ()
+        | Some (s, _) ->
+            fs :=
+              mk "G1" Warning
+                (Action.label ia.Rwsets.action)
+                (Printf.sprintf
+                   "actions %s and %s of process %d both fire at %s \
+                    with different synchronous-merge results \
+                    (synchronous_step is action-order dependent)"
+                   (Action.label ia.Rwsets.action)
+                   (Action.label ib.Rwsets.action)
+                   pr (state_str layout s))
+              :: !fs
+    done
   done;
   List.rev !fs
 
@@ -202,8 +269,15 @@ let check_domains layout mk info =
       ]
 
 (* U1/S1: dead and stuttering-only actions.  The reachable variant runs
-   only for actions that are live in the full space. *)
-let check_liveness mk ~reachable info =
+   only for actions that are live in the full space, and only when the
+   abstract pre-filter ([init_dead], from the Cr_flow init fixpoint) has
+   not already settled the verdict: flow proving the guard unsatisfiable
+   over an over-approximation of the fault-free reachable values is a
+   definite dead-from-init verdict, obtained without building the exact
+   reachable closure.  [reachable] is lazy so the closure is forced only
+   when some action actually needs the exact fallback. *)
+let check_liveness mk_prov ~reachable ~init_dead info =
+  let mk key sev action msg = mk_prov key sev Exact action msg in
   let a = info.Rwsets.action in
   if info.Rwsets.enabled_states = 0 then
     [ mk "U1" Warning (Action.label a) "never enabled in the full state space" ]
@@ -214,8 +288,14 @@ let check_liveness mk ~reachable info =
            "stuttering-only: enabled at %d state(s) but every firing is a no-op"
            info.Rwsets.enabled_states);
     ]
+  else if init_dead (Action.label a) then
+    [
+      mk_prov "U1" Info Abstract (Action.label a)
+        "never enabled from the initial states (abstract init fixpoint: \
+         guard unsatisfiable over the reachable value over-approximation)";
+    ]
   else
-    match reachable with
+    match Lazy.force reachable with
     | None -> []
     | Some tbl ->
         let alive = ref false in
@@ -319,7 +399,8 @@ let check_labels mk p =
 
 (* ---- the pass ---- *)
 
-let key_order = [ "W1"; "W2"; "P1"; "G1"; "D1"; "U1"; "S1"; "I1"; "L1" ]
+let key_order =
+  [ "W1"; "W2"; "P1"; "G1"; "D1"; "U1"; "S1"; "I1"; "L1"; "F1"; "F2"; "F3"; "B1" ]
 
 let key_rank k =
   let rec go i = function
@@ -328,51 +409,82 @@ let key_rank k =
   in
   go 0 key_order
 
-let run ?(allow = []) ?(reachable_check = true) (p : Program.t) : report =
+let sort_findings findings =
+  List.stable_sort
+    (fun a b -> compare (key_rank a.key) (key_rank b.key))
+    findings
+
+let merge r extra = { r with findings = sort_findings (r.findings @ extra) }
+
+let default_exact_budget = 1 lsl 22
+
+let run ?(allow = []) ?(reachable_check = true)
+    ?(exact_budget = default_exact_budget) ?infos
+    ?(init_dead = fun _ -> false) (p : Program.t) : report =
   Cr_obs.Obs.span "lint.program" @@ fun () ->
   let layout = Program.layout p in
+  let ns = Layout.num_states layout in
   let name = Program.name p in
-  let mk key severity action message =
-    { key; severity; program = name; action; message }
+  let mk_prov key severity provenance action message =
+    { key; severity; provenance; program = name; action; message }
   in
-  let infos = Rwsets.of_program p in
-  let reachable =
-    if not reachable_check then None
-    else
-      Cr_obs.Obs.span "lint.reachable" @@ fun () ->
-      let seeds =
-        List.filter (Program.initial p) (Layout.enumerate layout)
-      in
-      Some (Program.reachable_from p seeds)
-  in
-  let findings =
-    List.concat
-      [
-        List.concat_map (check_writes layout mk) infos;
-        check_ownership layout mk ~allowed:(List.mem "P1" allow) infos;
-        check_sync_overlap layout mk p;
-        List.concat_map (check_domains layout mk) infos;
-        List.concat_map (check_liveness mk ~reachable) infos;
-        check_interference layout mk infos;
-        check_labels mk p;
-      ]
-  in
-  let findings =
-    List.stable_sort
-      (fun a b -> compare (key_rank a.key) (key_rank b.key))
-      findings
-  in
+  let mk key severity action message = mk_prov key severity Exact action message in
   Cr_obs.Obs.incr c_programs;
-  Cr_obs.Obs.add c_findings (List.length findings);
-  Cr_obs.Obs.add c_errors
-    (List.length (List.filter (fun f -> f.severity = Error) findings));
-  { program_name = name; findings; infos }
+  if ns > exact_budget then begin
+    (* The whole battery rests on the full-space Rwsets pass; past the
+       budget we refuse to start it rather than blow up.  One info
+       finding records the degradation (B1). *)
+    let f =
+      mk "B1" Info "-"
+        (Printf.sprintf
+           "state space (%d states) exceeds the exact-analysis budget (%d); \
+            exact battery skipped — run `crcheck flow` for the abstract audit"
+           ns exact_budget)
+    in
+    Cr_obs.Obs.add c_findings 1;
+    { program_name = name; findings = [ f ]; infos = [] }
+  end
+  else begin
+    let infos =
+      match infos with Some is -> is | None -> Rwsets.of_program p
+    in
+    let reachable =
+      lazy
+        (if not reachable_check then None
+         else
+           Cr_obs.Obs.span "lint.reachable" @@ fun () ->
+           let seeds =
+             List.filter (Program.initial p) (Layout.enumerate layout)
+           in
+           Some (Program.reachable_from p seeds))
+    in
+    let findings =
+      List.concat
+        [
+          List.concat_map (check_writes layout mk) infos;
+          check_ownership layout mk ~allowed:(List.mem "P1" allow) infos;
+          check_sync_overlap layout mk ~budget:exact_budget infos;
+          List.concat_map (check_domains layout mk) infos;
+          List.concat_map (check_liveness mk_prov ~reachable ~init_dead) infos;
+          check_interference layout mk infos;
+          check_labels mk p;
+        ]
+    in
+    let findings = sort_findings findings in
+    Cr_obs.Obs.add c_findings (List.length findings);
+    Cr_obs.Obs.add c_errors
+      (List.length (List.filter (fun f -> f.severity = Error) findings));
+    { program_name = name; findings; infos }
+  end
 
 (* ---- rendering ---- *)
 
+(* Exact findings render exactly as before; abstract ones carry a
+   marker so provenance is visible in terminal output too. *)
 let pp_finding fmt f =
-  Fmt.pf fmt "%-3s %-7s %-22s %-14s %s" f.key (severity_string f.severity)
+  Fmt.pf fmt "%-3s %-7s %-22s %-14s %s%s" f.key (severity_string f.severity)
     f.program f.action f.message
+    (match f.provenance with Exact -> "" | Abstract -> " [abstract]")
 
 (* Minimal JSON emission (validated by Cr_obs.Json_check; no JSON
    dependency, mirroring the trace exporter). *)
@@ -393,9 +505,10 @@ let json_escape s =
 
 let finding_to_json f =
   Printf.sprintf
-    "{\"key\":\"%s\",\"severity\":\"%s\",\"program\":\"%s\",\"action\":\"%s\",\"message\":\"%s\"}"
+    "{\"key\":\"%s\",\"severity\":\"%s\",\"provenance\":\"%s\",\"program\":\"%s\",\"action\":\"%s\",\"message\":\"%s\"}"
     (json_escape f.key)
     (severity_string f.severity)
+    (provenance_string f.provenance)
     (json_escape f.program) (json_escape f.action) (json_escape f.message)
 
 let report_to_json ?(entry = "") r =
@@ -406,7 +519,18 @@ let report_to_json ?(entry = "") r =
     (errors r)
     (String.concat "," (List.map finding_to_json r.findings))
 
+(* Provenance header shared by every findings artifact (lint and flow),
+   matching the bench/journal convention: tool identity plus the run's
+   git revision and effective job count. *)
+let artifact_header ~version ~n =
+  Printf.sprintf
+    "\"version\":%d,\"tool\":\"crcheck\",\"tool_version\":\"1.0.0\",\"git_rev\":\"%s\",\"cr_jobs\":%d,\"n\":%d"
+    version
+    (json_escape (Cr_obs.Journal.git_rev ()))
+    (Cr_checker.Par.jobs_env ()) n
+
 let reports_to_json ~n (rs : (string * report) list) =
-  Printf.sprintf "{\"version\":1,\"n\":%d,\"systems\":[%s]}" n
+  Printf.sprintf "{%s,\"systems\":[%s]}"
+    (artifact_header ~version:2 ~n)
     (String.concat ","
        (List.map (fun (entry, r) -> report_to_json ~entry r) rs))

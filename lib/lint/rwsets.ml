@@ -171,9 +171,12 @@ let of_action layout (a : Action.t) : info =
     invalid_witness = !invalid;
   }
 
+(* Per-action inference is embarrassingly parallel: each [of_action]
+   touches only its own caches, so the CR_JOBS fan-out merges back by
+   index into exactly the sequential list. *)
 let of_program (p : Program.t) : info list =
   let layout = Program.layout p in
-  List.map (of_action layout) (Program.actions p)
+  Cr_checker.Par.map (of_action layout) (Program.actions p)
 
 let reads info =
   List.sort_uniq compare (info.guard_reads @ info.effect_reads)

@@ -70,6 +70,8 @@ let add_field buf (k, v) =
 
 (* ---------- provenance ---------- *)
 
+(* Resolved once per process; shared by the event stamps below and, via
+   the interface, by every emitted artifact header. *)
 let git_rev =
   lazy
     (match
@@ -202,5 +204,9 @@ let set_path p =
 let path () =
   Mutex.protect lock (fun () ->
       match !sink with Some (Some st) -> Some st.spath | _ -> None)
+
+(* Shadows the lazy cell above with its forcing function; placed last so
+   every internal use still sees the cell. *)
+let git_rev () = Lazy.force git_rev
 
 let () = at_exit close

@@ -35,3 +35,8 @@ val close : unit -> unit
 
 val path : unit -> string option
 (** The path of the currently open sink, if one is open. *)
+
+val git_rev : unit -> string
+(** The short git revision stamped on journal events ("unknown" outside
+    a git checkout).  Exposed so emitted artifacts (bench JSON, lint and
+    flow findings) can carry the same provenance header. *)

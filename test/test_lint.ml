@@ -314,6 +314,7 @@ let test_json_artifact () =
             {
               Lint.key = "W1";
               severity = Lint.Error;
+              provenance = Lint.Exact;
               program = "p\"q\\r";
               action = "a\nb";
               message = "quote \" backslash \\ tab \t";
