@@ -83,33 +83,72 @@ cmp -s "$expout" "$expout0" || {
 }
 
 # Journal smoke: a CR_JOURNAL run must produce a lintable JSONL stream
-# that records the compile-cache traffic and the stabilize verdict.
+# that records the compile-cache traffic and the stabilize verdict —
+# and, under CR_JOBS=4, the persistent pool's spawn event.  CR_PAR_CAP
+# lifts the busy-domain cap so the pool really spawns even on a
+# single-core CI host.
 journal=$(mktemp /tmp/cr.journal.XXXXXX)
 trap 'rm -f "$trace" "$lintjson" "$flowjson" "$flowjournal" "$cachelog" "$expout" "$expout0" "$explog" "$journal"' EXIT
 : > "$journal"
-CR_JOURNAL="$journal" dune exec bin/crcheck.exe -- verify dijkstra3 -n 3 > /dev/null
+CR_JOBS=4 CR_PAR_CAP=4 CR_JOURNAL="$journal" dune exec bin/crcheck.exe -- verify dijkstra3 -n 3 > /dev/null
 test -s "$journal" || { echo "ci: CR_JOURNAL produced no output" >&2; exit 1; }
 dune exec bin/journal_lint.exe -- "$journal" \
-  --expect compile.cache --expect stabilize.verdict
+  --expect compile.cache --expect stabilize.verdict --expect par.pool
+
+# Pool-shutdown smoke: a CR_JOBS=4 run spawns the persistent worker pool;
+# the at_exit hook must join every domain, so the process exits promptly
+# (the timeout catches a lingering-domain hang) with the verify verdict
+# (btr is fault-INtolerant, so exit 1 is the expected verdict; > 1 or a
+# timeout kill means a crash or a stuck pool).
+rc=0
+timeout 120 env CR_JOBS=4 CR_PAR_CAP=4 dune exec bin/crcheck.exe -- verify btr > /dev/null 2>&1 || rc=$?
+[ "$rc" -le 1 ] || { echo "ci: CR_JOBS=4 verify btr did not exit cleanly (rc=$rc)" >&2; exit 1; }
+
+# Byte-identical checker output across job counts: the pool, the chunked
+# sweeps and the shared oracle must not change a single output byte.
+jout1=$(mktemp /tmp/cr.jobs1.XXXXXX)
+jout4=$(mktemp /tmp/cr.jobs4.XXXXXX)
+trap 'rm -f "$trace" "$lintjson" "$flowjson" "$flowjournal" "$cachelog" "$expout" "$expout0" "$explog" "$journal" "$jout1" "$jout4"' EXIT
+CR_JOBS=1 dune exec bin/crcheck.exe -- experiments --max-n 3 > "$jout1" 2> /dev/null
+CR_JOBS=4 CR_PAR_CAP=4 dune exec bin/crcheck.exe -- experiments --max-n 3 > "$jout4" 2> /dev/null
+cmp -s "$jout1" "$jout4" || {
+  echo "ci: experiment output differs between CR_JOBS=1 and CR_JOBS=4" >&2
+  diff "$jout1" "$jout4" >&2 || true
+  exit 1
+}
 
 # The committed benchmark artifacts must stay well-formed JSON.
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR4.json
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR6.json
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR7.json
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR8.json
+dune exec bin/trace_lint.exe -- --json-only BENCH_PR9.json
+
+# The PR 9 artifact must carry the full jobs-scaling matrix
+# (seq/par2/par4 for classify, compile and the stabilize sweep).
+for row in classify-seq-dijkstra3-n6 classify-par2-dijkstra3-n6 \
+           classify-par4-dijkstra3-n6 compile-seq-dijkstra3-n7 \
+           compile-par2-dijkstra3-n7 compile-par4-dijkstra3-n7 \
+           stabilize-sweep-seq-dijkstra3-n6 stabilize-sweep-par2-dijkstra3-n6 \
+           stabilize-sweep-par4-dijkstra3-n6; do
+  grep -q "\"$row\"" BENCH_PR9.json || {
+    echo "ci: BENCH_PR9.json is missing scaling-matrix row $row" >&2
+    exit 1
+  }
+done
 
 # Perf-regression gate: the committed baseline must self-diff cleanly
-# (exit 0, no regressions), the PR 8 artifact must stay within the
-# generous cross-machine gate of the PR 7 baseline, and a fresh artifact
+# (exit 0, no regressions), the PR 9 artifact must stay within the
+# generous cross-machine gate of the PR 8 baseline, and a fresh artifact
 # from this machine must stay within it too.  Low-r^2 rows are never
 # gated and sub-microsecond rows get 4x slack, so this catches
 # order-of-magnitude regressions without flaking on scheduler noise.
-dune exec bin/perfdiff.exe -- BENCH_PR7.json BENCH_PR7.json > /dev/null
-dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR7.json BENCH_PR8.json > /dev/null
+dune exec bin/perfdiff.exe -- BENCH_PR8.json BENCH_PR8.json > /dev/null
+dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR8.json BENCH_PR9.json > /dev/null
 if [ "${CI_BENCH:-0}" = "1" ]; then
-  dune exec bench/main.exe -- --json BENCH_PR8.json > /dev/null
-  dune exec bin/trace_lint.exe -- --json-only BENCH_PR8.json
-  dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR7.json BENCH_PR8.json
+  dune exec bench/main.exe -- --json BENCH_PR9.json > /dev/null
+  dune exec bin/trace_lint.exe -- --json-only BENCH_PR9.json
+  dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR8.json BENCH_PR9.json
 fi
 
 echo "ci: OK"

@@ -1,4 +1,4 @@
-(* Re-export of the packed boolean masks, for checker-side call sites
-   (see [Csr] for the arrangement). *)
+(* Re-export of the word-parallel packed boolean masks, for checker-side
+   call sites (see [Csr] for the arrangement). *)
 
 include Cr_semantics.Bitset

@@ -1,7 +1,7 @@
 (* The fan-out implementation moved to [Cr_semantics.Par] so the
    explicit-state compiler (which cr_checker depends on) can chunk its
    state space across domains.  This alias keeps the historical
-   [Cr_checker.Par] call sites and shares the same nested-region and
-   override state. *)
+   [Cr_checker.Par] call sites and shares the same persistent domain
+   pool, nested-region flag, and override state. *)
 
 include Cr_semantics.Par

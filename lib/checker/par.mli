@@ -1,9 +1,11 @@
-(** Deterministic [Domain.spawn] fan-out for independent work items.
+(** Deterministic fan-out on the persistent domain pool.
 
     Alias of {!Cr_semantics.Par} (the implementation moved there so the
     explicit-state compiler can use it); see that module for the full
     contract.  The [CR_JOBS] default is 1 — fully sequential, no domain
-    spawned, output byte-identical to the sequential map. *)
+    involved, output byte-identical to the sequential map; with
+    [CR_JOBS>1] the workers are spawned once, parked between calls, and
+    joined by an [at_exit] hook. *)
 
 val jobs_env : unit -> int
 (** Parsed value of [CR_JOBS]; 1 when unset, the recommended domain
@@ -16,9 +18,19 @@ val current_jobs : unit -> int
 val with_jobs : int -> (unit -> 'a) -> 'a
 (** Run with the job count forced in this domain (tests/benchmarks). *)
 
+val min_items : unit -> int
+(** Small-work cutoff ([CR_PAR_MIN_ITEMS], default 4): smaller maps run
+    sequentially on the calling domain. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs = List.map f xs], computed on [jobs] domains.  [f] must not
     rely on shared mutable state. *)
 
 val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Array analogue of {!map}. *)
+
+val pool_size : unit -> int
+(** Worker domains currently parked in the pool. *)
+
+val shutdown_pool : unit -> unit
+(** Join every pool worker (idempotent; also runs [at_exit]). *)

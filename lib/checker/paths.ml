@@ -98,6 +98,53 @@ let oracle_dist o ~src =
       o.rows.(src) <- Some dist;
       dist
 
+(* Pre-seed the memo for a batch of upcoming queries, one entry per
+   query *occurrence* (duplicates expected — pass the source of every
+   pending query, not the distinct set).  Fresh sources get their BFS
+   rows computed through [Par] — each an independent item with its own
+   scratch queue — and installed in the memo.  The hit/miss accounting
+   reproduces what querying the batch in order would have recorded (one
+   miss per fresh source, one hit per remaining entry), so the merged
+   oracle counters stay CR_JOBS-invariant.  After preseeding, queries
+   with a listed source are pure memo reads ({!shortest_nonempty_seeded}),
+   which is what makes one oracle safe to share across classify chunks. *)
+let preseed_oracle o ~(sources : int array) =
+  let n = Csr.num_states o.osucc in
+  let seen = Bitset.create n in
+  let fresh = ref [] and nfresh = ref 0 in
+  Array.iter
+    (fun s ->
+      if o.rows.(s) = None && not (Bitset.get seen s) then begin
+        Bitset.set seen s;
+        fresh := s :: !fresh;
+        incr nfresh
+      end)
+    sources;
+  let fresh = Array.of_list (List.rev !fresh) in
+  let nf = Array.length fresh in
+  if nf > 0 then begin
+    (* Chunked so each executor allocates one scratch queue for its whole
+       share (a queue per source is n words of garbage per BFS); sources
+       are distinct, so each memo slot has a unique writer. *)
+    let nchunks = max 1 (min nf (Par.current_jobs () * 8)) in
+    let chunks =
+      Array.init nchunks (fun d ->
+          (d * nf / nchunks, (d + 1) * nf / nchunks))
+    in
+    ignore
+      (Par.map_array
+         (fun (lo, hi) ->
+           let q = Array.make (max n 1) 0 in
+           for k = lo to hi - 1 do
+             let src = fresh.(k) in
+             o.rows.(src) <- Some (bfs_into ~g:o.osucc ~q ~src)
+           done)
+         chunks
+        : unit array)
+  end;
+  Cr_obs.Obs.add c_oracle_misses !nfresh;
+  Cr_obs.Obs.add c_oracle_hits (Array.length sources - !nfresh)
+
 let shortest_nonempty_memo o ~src ~dst =
   if src <> dst then
     let d = oracle_dist o ~src in
@@ -114,6 +161,17 @@ let shortest_nonempty_memo o ~src ~dst =
           | _ -> best := Some len);
     !best
   end
+
+(* Query a preseeded source: no accounting (the preseed batch already
+   charged this query) and no mutation, so concurrent domains may share
+   one oracle.  A source the preseed batch did not cover — or a src =
+   dst cycle query — falls back to the memoizing path, which is correct
+   but mutating: parallel callers must preseed every source they will
+   query and never ask for cycles. *)
+let shortest_nonempty_seeded o ~src ~dst =
+  match o.rows.(src) with
+  | Some d when src <> dst -> if d.(dst) >= 1 then Some d.(dst) else None
+  | _ -> shortest_nonempty_memo o ~src ~dst
 
 (* Length of the shortest nonempty path from [src] to [dst]; [None] when
    unreachable by a nonempty path.  (src = dst requires a cycle.) *)

@@ -29,6 +29,22 @@ val oracle_dist : oracle -> src:int -> int array
 val shortest_nonempty_memo : oracle -> src:int -> dst:int -> int option
 (** Same results as {!shortest_nonempty}, through the memo. *)
 
+val preseed_oracle : oracle -> sources:int array -> unit
+(** Pre-compute and memoize the BFS rows for a batch of upcoming
+    queries, one entry per query occurrence (duplicates expected).
+    Distinct fresh sources are computed in parallel through [Par]; the
+    hit/miss accounting matches querying the batch sequentially, so
+    merged counters stay CR_JOBS-invariant.  Afterwards the listed
+    sources can be queried read-only with {!shortest_nonempty_seeded}
+    from several domains sharing one oracle. *)
+
+val shortest_nonempty_seeded : oracle -> src:int -> dst:int -> int option
+(** Same results as {!shortest_nonempty_memo}, served without mutation
+    or accounting from a row installed by {!preseed_oracle}.  Falls back
+    to the (mutating) memoizing path when the row is missing or
+    [src = dst] — parallel callers must preseed every source they query
+    and never ask for cycles. *)
+
 val shortest_path : succ:int array array -> src:int -> dst:int -> int list option
 (** One shortest path, inclusive of endpoints ([src = dst] gives [[src]]). *)
 

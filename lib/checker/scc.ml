@@ -202,10 +202,8 @@ let acyclic_within succ mask =
   !ok
 
 let acyclic_within_csr g mask =
-  let n = Csr.num_states g in
   let t = compute_csr (Csr.restrict g mask) in
   let ok = ref true in
-  for i = 0 to n - 1 do
-    if Bitset.get mask i && t.sizes.(t.component.(i)) >= 2 then ok := false
-  done;
+  Bitset.iter_set_bits mask (fun i ->
+      if t.sizes.(t.component.(i)) >= 2 then ok := false);
   !ok

@@ -110,17 +110,15 @@ let analyze_csr (next : tables) ~(succ : Cr_checker.Csr.t)
   let restricted = Cr_checker.Csr.restrict succ mask in
   let scc = Cr_checker.Scc.compute_csr restricted in
   let members = Array.make scc.Cr_checker.Scc.count [] in
-  for i = n - 1 downto 0 do
-    if Cr_checker.Bitset.get mask i then begin
-      let c = scc.Cr_checker.Scc.component.(i) in
-      members.(c) <- i :: members.(c)
-    end
-  done;
   let component = Array.make n (-1) in
-  for i = 0 to n - 1 do
-    if Cr_checker.Bitset.get mask i then
-      component.(i) <- scc.Cr_checker.Scc.component.(i)
-  done;
+  (* one word-skipping pass over the mask builds both tables; the
+     prepend-then-reverse keeps each member list ascending, as the
+     witness-cycle rendering expects *)
+  Cr_checker.Bitset.iter_set_bits mask (fun i ->
+      let c = scc.Cr_checker.Scc.component.(i) in
+      members.(c) <- i :: members.(c);
+      component.(i) <- c);
+  Array.iteri (fun c states -> members.(c) <- List.rev states) members;
   let fair = Array.make n false in
   let sccs = ref [] in
   Array.iteri

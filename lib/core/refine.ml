@@ -166,8 +166,10 @@ let c_max_dropped = Cr_obs.Obs.counter ~kind:Cr_obs.Obs.Max "refine.max_dropped"
 
 (* Classify each edge of [c] against [a] through [alpha].
 
-   The row-major sweep is split into contiguous state chunks, one per
-   CR_JOBS domain (default 1 = this plain sequential path).  Chunk
+   The row-major sweep is split into contiguous state chunks — one
+   sweep for CR_JOBS = 1 (the plain sequential path), many more chunks
+   than domains otherwise, claimed from [Par]'s atomic item counter so
+   edge-balanced stragglers stop serializing the fan-out.  Chunk
    boundaries are edge-balanced (binary search of the cumulative edge
    count in [row_ptr]), every edge is written at its absolute CSR offset
    into preallocated arrays, and per-chunk tallies are merged in chunk
@@ -175,11 +177,15 @@ let c_max_dropped = Cr_obs.Obs.counter ~kind:Cr_obs.Obs.Max "refine.max_dropped"
    every job count.
 
    Shortest abstract paths are answered by a per-source memoized BFS
-   oracle; the oracle is domain-local, so chunks sharing a source image
-   may each pay its BFS.  The merged [refine.*] counters below are
-   derived from the per-edge totals and stay CR_JOBS-invariant; the
-   oracle's own hit/miss counters (and [paths.bfs.*]) are invariant only
-   on the sequential path. *)
+   oracle.  The parallel path runs in two phases sharing ONE oracle:
+   phase A classifies the stutter/exact edges and records the pending
+   (path-query) edges per chunk; the oracle is then preseeded with the
+   pending sources ([Paths.preseed_oracle] — each distinct source one
+   parallel BFS item); phase B resolves the pending edges with read-only
+   memo lookups.  Chunks therefore never redo each other's BFS work, and
+   all the merged counters — the [refine.*] totals below and the
+   oracle's hit/miss and [paths.bfs.*] counters — are CR_JOBS-invariant
+   (the preseed accounting reproduces the sequential query order). *)
 let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
     classified * stats =
   Cr_obs.Obs.span "refine.classify" @@ fun () ->
@@ -246,19 +252,91 @@ let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
       Cr_obs.Obs.observe h_chunk (int_of_float (Cr_obs.Obs.now_us () -. t0));
     (!exact, !stutter, !compressions, !max_dropped)
   in
+  (* Phase A of the parallel path: classify rows [lo, hi) like [sweep],
+     but record the path-query edges (class still unknown) in a pending
+     buffer instead of querying a chunk-local oracle.  Returns the
+     stutter/exact tallies and the pending edge offsets. *)
+  let sweep_collect lo hi =
+    let t0 = if Cr_obs.Obs.tracking () then Cr_obs.Obs.now_us () else 0. in
+    let exact = ref 0 and stutter = ref 0 in
+    let pending = Array.make (rp.(hi) - rp.(lo)) 0 in
+    let np = ref 0 in
+    for i = lo to hi - 1 do
+      let klo = rp.(i) and khi = rp.(i + 1) in
+      if khi > klo then begin
+        let ai = alpha.(i) in
+        let alo = arp.(ai) and ahi = arp.(ai + 1) in
+        for k = klo to khi - 1 do
+          let j = tg.(k) in
+          let aj = alpha.(j) in
+          let cl =
+            if ai = aj then begin
+              incr stutter;
+              some_stutter
+            end
+            else begin
+              let slo = ref alo and shi = ref ahi in
+              while !shi - !slo > 1 do
+                let mid = (!slo + !shi) / 2 in
+                if atg.(mid) <= aj then slo := mid else shi := mid
+              done;
+              if !shi > !slo && atg.(!slo) = aj then begin
+                incr exact;
+                some_exact
+              end
+              else begin
+                pending.(!np) <- k;
+                incr np;
+                None
+              end
+            end
+          in
+          srcs.(k) <- i;
+          dsts.(k) <- j;
+          cls.(k) <- cl
+        done
+      end
+    done;
+    if Cr_obs.Obs.tracking () then
+      Cr_obs.Obs.observe h_chunk (int_of_float (Cr_obs.Obs.now_us () -. t0));
+    (!exact, !stutter, Array.sub pending 0 !np)
+  in
+  (* Phase B: resolve one chunk's pending edges against the shared,
+     preseeded oracle — pure memo reads, so the chunks can share it. *)
+  let resolve oracle (pending : int array) =
+    let compressions = ref 0 and max_dropped = ref 0 in
+    Array.iter
+      (fun k ->
+        match
+          Cr_checker.Paths.shortest_nonempty_seeded oracle
+            ~src:alpha.(srcs.(k)) ~dst:alpha.(dsts.(k))
+        with
+        | Some len when len >= 2 ->
+            cls.(k) <- Some (Compression len);
+            incr compressions;
+            if len - 1 > !max_dropped then max_dropped := len - 1
+        | Some _ | None -> ())
+      pending;
+    (!compressions, !max_dropped)
+  in
   let jobs = min (Par.current_jobs ()) (max n 1) in
   let exact, stutter, compressions, max_dropped =
     if jobs <= 1 then sweep 0 n
     else begin
-      (* Edge-balanced chunk boundaries: state index d covers edges up to
-         roughly d*m/jobs.  [row_ptr] is nondecreasing, so the smallest
-         state whose cumulative edge count reaches the quota is a binary
-         search; boundaries are clamped nondecreasing by construction. *)
+      (* Many more chunks than domains: uneven chunks stop serializing
+         the sweep because idle domains claim the next chunk from the
+         pool's atomic item counter. *)
+      let num_chunks = max jobs (min (max n 1) (jobs * 8)) in
+      (* Edge-balanced chunk boundaries: state index d covers edges up
+         to roughly d*m/num_chunks.  [row_ptr] is nondecreasing, so the
+         smallest state whose cumulative edge count reaches the quota is
+         a binary search; boundaries are clamped nondecreasing by
+         construction. *)
       let boundary d =
         if d = 0 then 0
-        else if d = jobs then n
+        else if d = num_chunks then n
         else begin
-          let want = d * m / jobs in
+          let want = d * m / num_chunks in
           let lo = ref 0 and hi = ref n in
           (* smallest i with rp.(i) >= want *)
           while !hi - !lo > 0 do
@@ -268,13 +346,44 @@ let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
           !lo
         end
       in
-      let chunks = Array.init jobs (fun d -> (boundary d, boundary (d + 1))) in
-      let parts = Par.map_array (fun (lo, hi) -> sweep lo hi) chunks in
+      let chunks =
+        Array.init num_chunks (fun d -> (boundary d, boundary (d + 1)))
+      in
+      let parts = Par.map_array (fun (lo, hi) -> sweep_collect lo hi) chunks in
+      (* every pending query's source image, in chunk order — one entry
+         per query, so the preseed accounting matches the sequential
+         sweep exactly *)
+      let total_pending =
+        Array.fold_left (fun acc (_, _, p) -> acc + Array.length p) 0 parts
+      in
+      let sources = Array.make (max total_pending 1) 0 in
+      let w = ref 0 in
+      Array.iter
+        (fun (_, _, p) ->
+          Array.iter
+            (fun k ->
+              sources.(!w) <- alpha.(srcs.(k));
+              incr w)
+            p)
+        parts;
+      let oracle = Cr_checker.Paths.make_oracle ~succ:succ_a in
+      Cr_checker.Paths.preseed_oracle oracle
+        ~sources:(Array.sub sources 0 total_pending);
+      let resolved =
+        Par.map_array (fun (_, _, p) -> resolve oracle p) parts
+      in
       (* deterministic merge in chunk order *)
-      Array.fold_left
-        (fun (e, s, cp, md) (e', s', cp', md') ->
-          (e + e', s + s', cp + cp', max md md'))
-        (0, 0, 0, 0) parts
+      let exact, stutter =
+        Array.fold_left
+          (fun (e, s) (e', s', _) -> (e + e', s + s'))
+          (0, 0) parts
+      in
+      let compressions, max_dropped =
+        Array.fold_left
+          (fun (cp, md) (cp', md') -> (cp + cp', max md md'))
+          (0, 0) resolved
+      in
+      (exact, stutter, compressions, max_dropped)
     end
   in
   if Cr_obs.Obs.tracking () then begin

@@ -141,8 +141,8 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
     let bad_seed = Cr_checker.Bitset.create n in
     Cr_obs.Obs.span "stabilize.bad_seeds" (fun () ->
         (* Row range [lo, hi): marks only its own sources.  Chunk
-           boundaries are byte-aligned (multiples of 8), so parallel
-           chunks write disjoint bytes of the bitset (see [Bitset]). *)
+           boundaries are word-aligned (multiples of 64), so parallel
+           chunks write disjoint words of the bitset (see [Bitset]). *)
         let sweep lo hi =
           for i = lo to hi - 1 do
             let klo = rp.(i) and khi = rp.(i + 1) in
@@ -167,10 +167,13 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
         let jobs = min (Par.current_jobs ()) (max n 1) in
         if jobs <= 1 then sweep 0 n
         else begin
-          let nbytes = (n + 7) / 8 in
-          let boundary d = min n (d * nbytes / jobs * 8) in
+          (* more chunks than domains (claimed from the pool's atomic
+             item counter), each spanning whole 64-bit words *)
+          let nwords = (n + 63) / 64 in
+          let num_chunks = max 1 (min nwords (jobs * 8)) in
+          let boundary d = min n (d * nwords / num_chunks * 64) in
           let chunks =
-            Array.init jobs (fun d -> (boundary d, boundary (d + 1)))
+            Array.init num_chunks (fun d -> (boundary d, boundary (d + 1)))
           in
           ignore
             (Par.map_array (fun (lo, hi) -> sweep lo hi) chunks : unit array)

@@ -1,12 +1,30 @@
-(** Deterministic [Domain.spawn] fan-out for independent work items.
+(** Deterministic fan-out for independent work items, served by a
+    persistent domain pool.
 
-    Items are partitioned by stride across domains and merged back by
-    index, so the result equals the sequential map regardless of the job
-    count or scheduling.  The job count defaults to the [CR_JOBS]
-    environment variable (default 1 — fully sequential, no domain is
-    spawned; 0 means [Domain.recommended_domain_count ()]).  Nested calls
-    from inside a parallel region run sequentially: the outer fan-out
-    already occupies the cores.
+    Work items are claimed from an atomic index counter and each result
+    lands in its own preallocated slot, so the merged output equals the
+    sequential map regardless of the job count or scheduling.  The job
+    count defaults to the [CR_JOBS] environment variable (default 1 —
+    fully sequential, no domain involved; 0 means
+    [Domain.recommended_domain_count ()]).  Nested calls from inside a
+    parallel region run sequentially: the outer fan-out already
+    occupies the cores.
+
+    The first parallel call spawns [jobs - 1] worker domains and parks
+    them on a condition variable; later calls are a broadcast handoff
+    (the pool grows if a call wants more workers, never shrinks).  An
+    [at_exit] hook joins every worker, so the process exits with no
+    lingering domains.  Maps over fewer than [CR_PAR_MIN_ITEMS] items
+    (default 4) skip the handoff and run on the calling domain.
+
+    A fan-out never occupies more busy domains than
+    [Domain.recommended_domain_count ()]: on OCaml 5 every minor
+    collection synchronizes all running domains, so busy domains beyond
+    the core count only add stop-the-world latency.  Chunk geometry and
+    algorithm selection still follow the requested job count, so output
+    is identical (the merge is slot-based); requests above the cap
+    count in [par.task.capped].  [CR_PAR_CAP] overrides the cap (tests
+    and CI use it to exercise the pool on small hosts).
 
     Hosted in [Cr_semantics] so the explicit-state compiler can chunk
     state spaces across domains; re-exported as [Cr_checker.Par]. *)
@@ -22,11 +40,28 @@ val current_jobs : unit -> int
 
 val with_jobs : int -> (unit -> 'a) -> 'a
 (** [with_jobs k f] runs [f] with the job count forced to [k] in this
-    domain (benchmarks and tests; no environment mutation). *)
+    domain (benchmarks and tests; no environment mutation).  The
+    previous override is restored even if [f] raises. *)
+
+val min_items : unit -> int
+(** Small-work cutoff: maps over fewer items than this run sequentially
+    on the calling domain.  Parsed from [CR_PAR_MIN_ITEMS] (default 4);
+    a malformed or negative value keeps the default, with a
+    once-per-process stderr warning. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs = List.map f xs], computed on [jobs] domains.  [f] must not
-    rely on shared mutable state. *)
+    rely on shared mutable state.  If [f] raises on any item, the first
+    exception (in claim order) is re-raised on the caller after the
+    sweep drains. *)
 
 val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Array analogue of {!map}. *)
+
+val pool_size : unit -> int
+(** Number of worker domains currently parked in the pool (0 before the
+    first parallel call and after {!shutdown_pool}). *)
+
+val shutdown_pool : unit -> unit
+(** Join every pool worker and empty the pool.  Idempotent; the next
+    parallel call respawns workers.  Runs automatically [at_exit]. *)

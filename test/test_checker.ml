@@ -1,5 +1,9 @@
 (* Unit and property tests for cr_checker: reachability, SCC, paths. *)
 
+(* lift the pool's busy-domain cap so the CR_JOBS-invariance properties
+   really fan out across domains on a single-core host *)
+let () = Unix.putenv "CR_PAR_CAP" "8"
+
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 

@@ -14,6 +14,10 @@ module Registry = Cr_experiments.Registry
 module Flow_exps = Cr_experiments.Flow_exps
 module Par = Cr_checker.Par
 
+(* lift the pool's busy-domain cap so the CR_JOBS-invariance property
+   really fans out across domains on a single-core host *)
+let () = Unix.putenv "CR_PAR_CAP" "8"
+
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
