@@ -20,10 +20,10 @@ bench-tables:
 	dune exec bench/main.exe -- --no-micro
 
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR9.json
+	dune exec bench/main.exe -- --json BENCH_PR10.json
 
 perfdiff: bench-json
-	dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR8.json BENCH_PR9.json
+	dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR9.json BENCH_PR10.json
 
 ci:
 	bin/ci.sh

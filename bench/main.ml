@@ -45,7 +45,7 @@ let micro_tests () =
   let d3_6_prog = Cr_tokenring.Btr3.dijkstra3 6 in
   let d3_7 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 7) in
   let d3_7_csr = Cr_checker.Reach.of_explicit d3_7 in
-  let d3_7_rows = Cr_checker.Csr.to_rows d3_7_csr in
+  let d3_7_rows = Cr_kernel.Csr.to_rows d3_7_csr in
   let d3_7_inits = Array.to_list (Cr_semantics.Explicit.initials d3_7) in
   let btr_5 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr.program 5) in
   let d3_5 = Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 5) in
@@ -53,6 +53,20 @@ let micro_tests () =
     Cr_semantics.Abstraction.tabulate (Cr_tokenring.Btr3.alpha 5) d3_5 btr_5
   in
   let daemon_seed = ref 0 in
+  (* E17's read/write ring: the registry system with the smallest
+     reachable ratio (288 of 177147 states at N = 3) — the head-to-head
+     instance for the two Space engines *)
+  let rw3_prog = Cr_tokenring.Rw_atomicity.program n in
+  let space_refine space () =
+    Cr_semantics.Compile_cache.bypass (fun () ->
+        Cr_core.Check_cache.bypass (fun () ->
+            let c = Cr_guarded.Program.to_explicit ~space rw3_prog in
+            let tab =
+              Cr_semantics.Abstraction.tabulate
+                (Cr_tokenring.Rw_atomicity.alpha n) c btr
+            in
+            ignore (Cr_core.Refine.init_refinement ~alpha:tab ~c ~a:btr ())))
+  in
   [
     (* one Test.make per experiment table *)
     ( Normal,
@@ -89,7 +103,7 @@ let micro_tests () =
     ( Normal,
       Test.make ~name:"compile-par2-dijkstra3-n7"
         (Staged.stage (fun () ->
-             Cr_checker.Par.with_jobs 2 (fun () ->
+             Cr_kernel.Par.with_jobs 2 (fun () ->
                  Cr_semantics.Compile_cache.bypass (fun () ->
                      ignore
                        (Cr_guarded.Program.to_explicit
@@ -97,7 +111,7 @@ let micro_tests () =
     ( Normal,
       Test.make ~name:"compile-par4-dijkstra3-n7"
         (Staged.stage (fun () ->
-             Cr_checker.Par.with_jobs 4 (fun () ->
+             Cr_kernel.Par.with_jobs 4 (fun () ->
                  Cr_semantics.Compile_cache.bypass (fun () ->
                      ignore
                        (Cr_guarded.Program.to_explicit
@@ -109,6 +123,31 @@ let micro_tests () =
         (Staged.stage (fun () ->
              ignore
                (Cr_guarded.Program.to_explicit (Cr_tokenring.Btr3.dijkstra3 7)))) );
+    (* the two Space engines head-to-head: cold compiles with the cache
+       bypassed, then the same engines end to end on an init-anchored
+       query (compile + α tabulation + init-refinement verdict, every
+       cache bypassed).  Dense must enumerate all 3^11 product states;
+       sparse only the 288-state legitimate orbit. *)
+    ( Slow,
+      Test.make ~name:"space-dense-compile-rw-n3"
+        (Staged.stage (fun () ->
+             Cr_semantics.Compile_cache.bypass (fun () ->
+                 ignore
+                   (Cr_guarded.Program.to_explicit
+                      ~space:Cr_semantics.Space.Dense rw3_prog)))) );
+    ( Normal,
+      Test.make ~name:"space-sparse-compile-rw-n3"
+        (Staged.stage (fun () ->
+             Cr_semantics.Compile_cache.bypass (fun () ->
+                 ignore
+                   (Cr_guarded.Program.to_explicit
+                      ~space:Cr_semantics.Space.Sparse rw3_prog)))) );
+    ( Slow,
+      Test.make ~name:"space-dense-refine-rw-n3"
+        (Staged.stage (space_refine Cr_semantics.Space.Dense)) );
+    ( Normal,
+      Test.make ~name:"space-sparse-refine-rw-n3"
+        (Staged.stage (space_refine Cr_semantics.Space.Sparse)) );
     (* these three measure the actual check, so the verdict cache is
        bypassed (a warm hit is measured separately below) *)
     ( Normal,
@@ -143,13 +182,13 @@ let micro_tests () =
     ( Slow,
       Test.make ~name:"classify-par2-dijkstra3-n6"
         (Staged.stage (fun () ->
-             Cr_checker.Par.with_jobs 2 (fun () ->
+             Cr_kernel.Par.with_jobs 2 (fun () ->
                  ignore
                    (Cr_core.Refine.classify ~alpha:alpha3_6 ~c:d3_6 ~a:btr_6)))) );
     ( Slow,
       Test.make ~name:"classify-par4-dijkstra3-n6"
         (Staged.stage (fun () ->
-             Cr_checker.Par.with_jobs 4 (fun () ->
+             Cr_kernel.Par.with_jobs 4 (fun () ->
                  ignore
                    (Cr_core.Refine.classify ~alpha:alpha3_6 ~c:d3_6 ~a:btr_6)))) );
     (* full stabilization check at the same size (bad-seed sweep +
@@ -166,7 +205,7 @@ let micro_tests () =
     ( Slow,
       Test.make ~name:"stabilize-sweep-par2-dijkstra3-n6"
         (Staged.stage (fun () ->
-             Cr_checker.Par.with_jobs 2 (fun () ->
+             Cr_kernel.Par.with_jobs 2 (fun () ->
                  Cr_core.Check_cache.bypass (fun () ->
                      ignore
                        (Cr_core.Stabilize.stabilizing_to ~alpha:alpha3_6
@@ -174,7 +213,7 @@ let micro_tests () =
     ( Slow,
       Test.make ~name:"stabilize-sweep-par4-dijkstra3-n6"
         (Staged.stage (fun () ->
-             Cr_checker.Par.with_jobs 4 (fun () ->
+             Cr_kernel.Par.with_jobs 4 (fun () ->
                  Cr_core.Check_cache.bypass (fun () ->
                      ignore
                        (Cr_core.Stabilize.stabilizing_to ~alpha:alpha3_6
@@ -416,7 +455,7 @@ let write_json path micro report_wall =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"git_rev\": %S,\n  \"cr_jobs\": %d,\n" (git_rev ())
-       (Cr_checker.Par.jobs_env ()));
+       (Cr_kernel.Par.jobs_env ()));
   Buffer.add_string buf "  \"micro\": [\n";
   List.iteri
     (fun i (name, est, r2, retries) ->

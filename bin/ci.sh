@@ -117,38 +117,62 @@ cmp -s "$jout1" "$jout4" || {
   exit 1
 }
 
+# Space-engine smoke: verify (a stabilization question) quantifies over
+# ALL states, so it is dense by construction — forcing CR_SPACE=sparse
+# must not change a single output byte.  btr is fault-INtolerant, so
+# verify exits 1; only exit > 1 is a crash.
+spdef=$(mktemp /tmp/cr.spdef.XXXXXX)
+spsparse=$(mktemp /tmp/cr.spsparse.XXXXXX)
+trap 'rm -f "$trace" "$lintjson" "$flowjson" "$flowjournal" "$cachelog" "$expout" "$expout0" "$explog" "$journal" "$jout1" "$jout4" "$spdef" "$spsparse"' EXIT
+rc=0; dune exec bin/crcheck.exe -- verify btr > "$spdef" 2> /dev/null || rc=$?
+[ "$rc" -le 1 ] || { echo "ci: verify btr crashed (rc=$rc)" >&2; exit 1; }
+rc=0; CR_SPACE=sparse dune exec bin/crcheck.exe -- verify btr > "$spsparse" 2> /dev/null || rc=$?
+[ "$rc" -le 1 ] || { echo "ci: CR_SPACE=sparse verify btr crashed (rc=$rc)" >&2; exit 1; }
+cmp -s "$spdef" "$spsparse" || {
+  echo "ci: verify output differs under CR_SPACE=sparse (verify must stay dense)" >&2
+  diff "$spdef" "$spsparse" >&2 || true
+  exit 1
+}
+
+# The sparse engine's reason to exist: an init-anchored query at a ring
+# size whose dense space (3^20 states) cannot be materialized at all.
+# refine reports failures (exit 1) — only exit > 1 or a hang fails CI.
+rc=0
+timeout 120 env CR_SPACE=sparse dune exec bin/crcheck.exe -- refine rw-dijkstra3 -n 6 > /dev/null 2>&1 || rc=$?
+[ "$rc" -le 1 ] || { echo "ci: sparse refine rw-dijkstra3 -n 6 failed (rc=$rc)" >&2; exit 1; }
+
 # The committed benchmark artifacts must stay well-formed JSON.
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR4.json
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR6.json
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR7.json
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR8.json
 dune exec bin/trace_lint.exe -- --json-only BENCH_PR9.json
+dune exec bin/trace_lint.exe -- --json-only BENCH_PR10.json
 
-# The PR 9 artifact must carry the full jobs-scaling matrix
-# (seq/par2/par4 for classify, compile and the stabilize sweep).
-for row in classify-seq-dijkstra3-n6 classify-par2-dijkstra3-n6 \
-           classify-par4-dijkstra3-n6 compile-seq-dijkstra3-n7 \
-           compile-par2-dijkstra3-n7 compile-par4-dijkstra3-n7 \
-           stabilize-sweep-seq-dijkstra3-n6 stabilize-sweep-par2-dijkstra3-n6 \
-           stabilize-sweep-par4-dijkstra3-n6; do
-  grep -q "\"$row\"" BENCH_PR9.json || {
-    echo "ci: BENCH_PR9.json is missing scaling-matrix row $row" >&2
+# The PR 10 artifact must carry the space-engine head-to-head rows (the
+# PR 9 jobs-scaling matrix rides along in the same sweep).
+for row in space-dense-compile-rw-n3 space-sparse-compile-rw-n3 \
+           space-dense-refine-rw-n3 space-sparse-refine-rw-n3 \
+           classify-seq-dijkstra3-n6 compile-seq-dijkstra3-n7 \
+           stabilize-sweep-seq-dijkstra3-n6; do
+  grep -q "\"$row\"" BENCH_PR10.json || {
+    echo "ci: BENCH_PR10.json is missing row $row" >&2
     exit 1
   }
 done
 
 # Perf-regression gate: the committed baseline must self-diff cleanly
-# (exit 0, no regressions), the PR 9 artifact must stay within the
-# generous cross-machine gate of the PR 8 baseline, and a fresh artifact
+# (exit 0, no regressions), the PR 10 artifact must stay within the
+# generous cross-machine gate of the PR 9 baseline, and a fresh artifact
 # from this machine must stay within it too.  Low-r^2 rows are never
 # gated and sub-microsecond rows get 4x slack, so this catches
 # order-of-magnitude regressions without flaking on scheduler noise.
-dune exec bin/perfdiff.exe -- BENCH_PR8.json BENCH_PR8.json > /dev/null
-dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR8.json BENCH_PR9.json > /dev/null
+dune exec bin/perfdiff.exe -- BENCH_PR9.json BENCH_PR9.json > /dev/null
+dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR9.json BENCH_PR10.json > /dev/null
 if [ "${CI_BENCH:-0}" = "1" ]; then
-  dune exec bench/main.exe -- --json BENCH_PR9.json > /dev/null
-  dune exec bin/trace_lint.exe -- --json-only BENCH_PR9.json
-  dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR8.json BENCH_PR9.json
+  dune exec bench/main.exe -- --json BENCH_PR10.json > /dev/null
+  dune exec bin/trace_lint.exe -- --json-only BENCH_PR10.json
+  dune exec bin/perfdiff.exe -- --gate 100 BENCH_PR9.json BENCH_PR10.json
 fi
 
 echo "ci: OK"

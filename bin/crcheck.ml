@@ -29,6 +29,24 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let space_arg =
+  let doc =
+    "State-space engine for init-anchored compiles: $(b,sparse) \
+     (reachable fragment only, the default for refine), $(b,dense) \
+     (full product space) or $(b,auto) (each call site's default).  \
+     Equivalent to setting CR_SPACE; full-space checks (stabilization, \
+     whole-space lint facts) are dense by construction either way."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("dense", "dense"); ("sparse", "sparse"); ("auto", "auto") ])) None
+    & info [ "space" ] ~docv:"ENGINE" ~doc)
+
+(* The flag is sugar for the environment override: exporting it makes
+   the engine choice reach every compile in the process and lands it in
+   the journal.open header's CR_* provenance record. *)
+let set_space = function None -> () | Some s -> Unix.putenv "CR_SPACE" s
+
 let pp_cost what = function
   | None -> ()
   | Some [] -> pf "%s cost: (no counter movement)@." what
@@ -63,8 +81,9 @@ let list_cmd =
 
 (* ---- verify ---- *)
 
-let verify name n stats =
+let verify name n stats space =
   if stats then Cr_obs.Obs.force_enable ();
+  set_space space;
   with_entry name (fun e ->
       let p = e.Cr_experiments.Registry.program n in
       let ep = Cr_experiments.Registry.explicit e n in
@@ -96,14 +115,17 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Model-check that SYSTEM is stabilizing to its specification")
-    Term.(const verify $ system_arg $ n_arg $ stats_arg)
+    Term.(const verify $ system_arg $ n_arg $ stats_arg $ space_arg)
 
 (* ---- refine ---- *)
 
-let refine name n stats =
+let refine name n stats space =
   if stats then Cr_obs.Obs.force_enable ();
+  set_space space;
   with_entry name (fun e ->
-      let ep = Cr_experiments.Registry.explicit e n in
+      (* the same compile the refinement reports index into: sparse by
+         default, so failure anchors resolve against the right graph *)
+      let ep = Cr_experiments.Registry.init_explicit e n in
       let spec = Cr_experiments.Registry.spec_explicit e n in
       let reports = Cr_experiments.Registry.refinements e n in
       List.iter
@@ -118,7 +140,7 @@ let refine name n stats =
         (fun f ->
           let anchor = Cr_core.Refine.failure_state f in
           pf "  %a  [%s]@." (Cr_core.Refine.pp_failure ep spec) f
-            (if Cr_checker.Bitset.get reach anchor then "reachable fault-free"
+            (if Cr_kernel.Bitset.get reach anchor then "reachable fault-free"
              else "requires a fault to reach"))
         conv.Cr_core.Refine.failures;
       if conv.Cr_core.Refine.holds then 0 else 1)
@@ -130,7 +152,7 @@ let refine_cmd =
          "Check the refinement relations between SYSTEM and its \
           specification (init / everywhere / convergence / \
           everywhere-eventually)")
-    Term.(const refine $ system_arg $ n_arg $ stats_arg)
+    Term.(const refine $ system_arg $ n_arg $ stats_arg $ space_arg)
 
 (* ---- trace ---- *)
 

@@ -16,7 +16,7 @@ let campaign ~name (p : Cr_guarded.Program.t) ~converged ~n =
   let e = Cr_guarded.Program.to_explicit p in
   let succ = Cr_checker.Reach.of_explicit e in
   let mask =
-    Cr_checker.Bitset.of_bool_array
+    Cr_kernel.Bitset.of_bool_array
       (Array.init (Cr_semantics.Explicit.num_states e) (fun i ->
            not (converged (Cr_semantics.Explicit.state e i))))
   in

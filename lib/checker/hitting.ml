@@ -11,6 +11,9 @@
    counterpart of the Monte-Carlo mean (they are cross-checked in the
    test suite). *)
 
+module Csr = Cr_kernel.Csr
+module Bitset = Cr_kernel.Bitset
+
 let c_runs = Cr_obs.Obs.counter "hitting.runs"
 let c_iterations = Cr_obs.Obs.counter "hitting.iterations"
 

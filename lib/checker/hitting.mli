@@ -17,8 +17,8 @@ val expected :
 val expected_csr :
   ?epsilon:float ->
   ?max_iter:int ->
-  ?pred:Csr.t ->
-  succ:Csr.t ->
+  ?pred:Cr_kernel.Csr.t ->
+  succ:Cr_kernel.Csr.t ->
   target:bool array ->
   unit ->
   float array

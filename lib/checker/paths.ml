@@ -5,6 +5,10 @@
    flat graph directly); the array-of-rows kernels remain as the
    independent reference implementation for the qcheck properties. *)
 
+module Csr = Cr_kernel.Csr
+module Par = Cr_kernel.Par
+module Bitset = Cr_kernel.Bitset
+
 (* Telemetry (all no-ops unless CR_STATS/CR_TRACE is on).  BFS expansion
    counts are published once per BFS from the final queue tail — every
    expanded node was enqueued exactly once — so the hot loop itself

@@ -7,7 +7,7 @@
 val bfs_distances : succ:int array array -> src:int -> int array
 (** [dist.(j)] = shortest path length from [src], or [-1]. *)
 
-val bfs_distances_csr : succ:Csr.t -> src:int -> int array
+val bfs_distances_csr : succ:Cr_kernel.Csr.t -> src:int -> int array
 (** {!bfs_distances} over a CSR graph. *)
 
 val shortest_nonempty : succ:int array array -> src:int -> dst:int -> int option
@@ -20,7 +20,7 @@ type oracle
     distinct source across the oracle's lifetime, shared by all queries
     (e.g. every non-exact edge of one [Refine.classify] run). *)
 
-val make_oracle : succ:Csr.t -> oracle
+val make_oracle : succ:Cr_kernel.Csr.t -> oracle
 
 val oracle_dist : oracle -> src:int -> int array
 (** The (memoized) BFS distance row from [src]; same contents as
@@ -48,7 +48,7 @@ val shortest_nonempty_seeded : oracle -> src:int -> dst:int -> int option
 val shortest_path : succ:int array array -> src:int -> dst:int -> int list option
 (** One shortest path, inclusive of endpoints ([src = dst] gives [[src]]). *)
 
-val shortest_path_csr : succ:Csr.t -> src:int -> dst:int -> int list option
+val shortest_path_csr : succ:Cr_kernel.Csr.t -> src:int -> dst:int -> int list option
 (** {!shortest_path} over a CSR graph. *)
 
 exception Cyclic
@@ -60,5 +60,5 @@ val longest_within : succ:int array array -> mask:bool array -> int array
     This is the exact worst-case convergence time when [mask] is the set of
     illegitimate states of a stabilizing system. *)
 
-val longest_within_csr : succ:Csr.t -> mask:Bitset.t -> int array
+val longest_within_csr : succ:Cr_kernel.Csr.t -> mask:Cr_kernel.Bitset.t -> int array
 (** {!longest_within} over a CSR graph and a packed mask. *)

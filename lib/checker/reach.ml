@@ -8,6 +8,9 @@
    are kept as the independent reference implementation the qcheck
    properties compare against. *)
 
+module Csr = Cr_kernel.Csr
+module Bitset = Cr_kernel.Bitset
+
 let forward ~succ ~(seeds : int list) : bool array =
   let n = Array.length succ in
   let seen = Array.make n false in

@@ -14,28 +14,28 @@ val backward : succ:int array array -> seeds:int list -> bool array
 
 val transpose : int array array -> int array array
 
-val forward_csr : succ:Csr.t -> seeds:int list -> Bitset.t
+val forward_csr : succ:Cr_kernel.Csr.t -> seeds:int list -> Cr_kernel.Bitset.t
 (** {!forward} over a CSR graph, marking a packed bitset. *)
 
-val backward_csr : succ:Csr.t -> seeds:int list -> Bitset.t
+val backward_csr : succ:Cr_kernel.Csr.t -> seeds:int list -> Cr_kernel.Bitset.t
 (** {!backward} over a CSR graph (transposes internally; prefer
     {!backward_of_explicit} when the system's stored transpose is
     available). *)
 
-val of_explicit : _ Cr_semantics.Explicit.t -> Csr.t
+val of_explicit : _ Cr_semantics.Explicit.t -> Cr_kernel.Csr.t
 (** The transition CSR of an explicit system — a zero-copy view of what
     the system already stores. *)
 
-val pred_of_explicit : _ Cr_semantics.Explicit.t -> Csr.t
+val pred_of_explicit : _ Cr_semantics.Explicit.t -> Cr_kernel.Csr.t
 (** The predecessor CSR an explicit system stores (forced on first use);
     also zero-copy. *)
 
 val backward_of_explicit :
-  _ Cr_semantics.Explicit.t -> seeds:int list -> Bitset.t
+  _ Cr_semantics.Explicit.t -> seeds:int list -> Cr_kernel.Bitset.t
 (** Backward reachability over the stored predecessor CSR (no
     transposition pass). *)
 
-val reachable_from_initial : _ Cr_semantics.Explicit.t -> Bitset.t
+val reachable_from_initial : _ Cr_semantics.Explicit.t -> Cr_kernel.Bitset.t
 (** States reachable from the initial states — for a specification [A]
     these are the "legitimate" states used by the stabilization checker. *)
 

@@ -1,5 +1,8 @@
 (* Strongly connected components, iterative Tarjan. *)
 
+module Csr = Cr_kernel.Csr
+module Bitset = Cr_kernel.Bitset
+
 type t = {
   component : int array;  (* state index -> component id *)
   count : int;

@@ -12,7 +12,7 @@ type t = {
 val compute : int array array -> t
 (** Reference kernel over array-of-rows adjacency (qcheck baseline). *)
 
-val compute_csr : Csr.t -> t
+val compute_csr : Cr_kernel.Csr.t -> t
 (** Production kernel over a CSR graph.  Traverses in the same order as
     {!compute} on the equivalent rows, so component ids are identical. *)
 
@@ -31,6 +31,6 @@ val restrict : int array array -> bool array -> int array array
 val acyclic_within : int array array -> bool array -> bool
 (** Is the subgraph induced by the masked states acyclic? *)
 
-val acyclic_within_csr : Csr.t -> Bitset.t -> bool
+val acyclic_within_csr : Cr_kernel.Csr.t -> Cr_kernel.Bitset.t -> bool
 (** {!acyclic_within} over a CSR graph and a packed mask (restricts via
-    {!Csr.restrict}, no per-row allocation). *)
+    {!Cr_kernel.Csr.restrict}, no per-row allocation). *)

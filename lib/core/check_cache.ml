@@ -22,6 +22,7 @@
    report equals the fresh one (modulo [cost]). *)
 
 open Cr_semantics
+module Csr = Cr_kernel.Csr
 
 let c_hits = Cr_obs.Obs.counter "check.cache.hits"
 let c_misses = Cr_obs.Obs.counter "check.cache.misses"

@@ -103,18 +103,18 @@ let analyze (next : tables) ~(succ : int array array) ~(mask : bool array) :
 (* [analyze] over the system's flat CSR and a packed mask: restriction
    stays flat and the taken-inside test is a binary search in the
    restricted row — same boolean as the reference linear scan. *)
-let analyze_csr (next : tables) ~(succ : Cr_checker.Csr.t)
-    ~(mask : Cr_checker.Bitset.t) : analysis =
+let analyze_csr (next : tables) ~(succ : Cr_kernel.Csr.t)
+    ~(mask : Cr_kernel.Bitset.t) : analysis =
   Cr_obs.Obs.span "fair.analyze" @@ fun () ->
-  let n = Cr_checker.Csr.num_states succ in
-  let restricted = Cr_checker.Csr.restrict succ mask in
+  let n = Cr_kernel.Csr.num_states succ in
+  let restricted = Cr_kernel.Csr.restrict succ mask in
   let scc = Cr_checker.Scc.compute_csr restricted in
   let members = Array.make scc.Cr_checker.Scc.count [] in
   let component = Array.make n (-1) in
   (* one word-skipping pass over the mask builds both tables; the
      prepend-then-reverse keeps each member list ascending, as the
      witness-cycle rendering expects *)
-  Cr_checker.Bitset.iter_set_bits mask (fun i ->
+  Cr_kernel.Bitset.iter_set_bits mask (fun i ->
       let c = scc.Cr_checker.Scc.component.(i) in
       members.(c) <- i :: members.(c);
       component.(i) <- c);
@@ -125,10 +125,10 @@ let analyze_csr (next : tables) ~(succ : Cr_checker.Csr.t)
     (fun c states ->
       if scc.Cr_checker.Scc.sizes.(c) >= 2 then begin
         let in_scc j =
-          Cr_checker.Bitset.get mask j
+          Cr_kernel.Bitset.get mask j
           && scc.Cr_checker.Scc.component.(j) = c
         in
-        let edge i j = Cr_checker.Csr.mem restricted i j in
+        let edge i j = Cr_kernel.Csr.mem restricted i j in
         if admissible next ~edge ~in_scc states then begin
           List.iter (fun i -> fair.(i) <- true) states;
           sccs := states :: !sccs

@@ -24,7 +24,7 @@ val analyze : tables -> succ:int array array -> mask:bool array -> analysis
 (** SCCs of the subgraph induced by [mask], with fair-admissibility. *)
 
 val analyze_csr :
-  tables -> succ:Cr_checker.Csr.t -> mask:Cr_checker.Bitset.t -> analysis
+  tables -> succ:Cr_kernel.Csr.t -> mask:Cr_kernel.Bitset.t -> analysis
 (** {!analyze} over a CSR graph and a packed mask — same analysis, flat
     restriction, binary-search edge membership. *)
 

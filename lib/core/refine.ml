@@ -1,4 +1,5 @@
 open Cr_semantics
+module Par = Cr_kernel.Par
 
 (* Refinement checkers (Section 2 of the paper), decided on explicit
    finite-state systems via edge classification.
@@ -191,11 +192,11 @@ let classify ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) :
   Cr_obs.Obs.span "refine.classify" @@ fun () ->
   let succ_a = Explicit.csr a in
   let g = Explicit.csr c in
-  let rp = Cr_checker.Csr.row_ptr g and tg = Cr_checker.Csr.targets g in
-  let arp = Cr_checker.Csr.row_ptr succ_a
-  and atg = Cr_checker.Csr.targets succ_a in
+  let rp = Cr_kernel.Csr.row_ptr g and tg = Cr_kernel.Csr.targets g in
+  let arp = Cr_kernel.Csr.row_ptr succ_a
+  and atg = Cr_kernel.Csr.targets succ_a in
   let n = Explicit.num_states c in
-  let m = Cr_checker.Csr.num_edges g in
+  let m = Cr_kernel.Csr.num_edges g in
   let srcs = Array.make m 0 and dsts = Array.make m 0 in
   let cls = Array.make m None in
   let some_stutter = Some Stutter and some_exact = Some Exact in
@@ -416,7 +417,7 @@ let stutter_csr n (classified : classified) =
           targets.(fill.(i)) <- j;
           fill.(i) <- fill.(i) + 1
       | _ -> ());
-  Cr_checker.Csr.unsafe_of_raw ~row_ptr ~targets
+  Cr_kernel.Csr.unsafe_of_raw ~row_ptr ~targets
 
 let initial_failures ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) =
   Array.to_list (Explicit.initials c)
@@ -425,12 +426,12 @@ let initial_failures ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) =
          else Some (Initial_not_initial i))
 
 let terminal_failures ~alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t)
-    ~(restrict : Cr_checker.Bitset.t option) =
+    ~(restrict : Cr_kernel.Bitset.t option) =
   let n = Explicit.num_states c in
   let consider i =
     match restrict with
     | None -> true
-    | Some mask -> Cr_checker.Bitset.get mask i
+    | Some mask -> Cr_kernel.Bitset.get mask i
   in
   let acc = ref [] in
   for i = 0 to n - 1 do
@@ -555,7 +556,7 @@ let init_refinement ?alpha ~(c : _ Explicit.t) ~(a : _ Explicit.t) () =
   let failures = ref (initial_failures ~alpha ~c ~a) in
   let edges = ref 0 and exact = ref 0 in
   Explicit.iter_edges c (fun i j ->
-      if Cr_checker.Bitset.get reach i then begin
+      if Cr_kernel.Bitset.get reach i then begin
         incr edges;
         if Explicit.has_edge a alpha.(i) alpha.(j) then incr exact
         else failures := Init_edge_not_exact (i, j) :: !failures
@@ -601,7 +602,7 @@ let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
     | Some tables ->
         let analysis =
           Fair.analyze_csr tables ~succ:succ_c
-            ~mask:(Cr_checker.Bitset.full n)
+            ~mask:(Cr_kernel.Bitset.full n)
         in
         fun i j -> Fair.edge_on_fair_cycle analysis i j
   in
@@ -617,7 +618,7 @@ let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
           match cls with
           | Some Exact -> ()
           | _ ->
-              if Cr_checker.Bitset.get reach i then
+              if Cr_kernel.Bitset.get reach i then
                 failures := Init_edge_not_exact (i, j) :: !failures));
   (* 2. Global matching + finiteness of omissions. *)
   Cr_obs.Obs.span "refine.cycle_check" (fun () ->
@@ -642,7 +643,7 @@ let convergence_refinement ?alpha ?fair ~(c : _ Explicit.t)
        | Some tables ->
            let analysis =
              Fair.analyze_csr tables ~succ:stutter_adj
-               ~mask:(Cr_checker.Bitset.full n)
+               ~mask:(Cr_kernel.Bitset.full n)
            in
            fun i -> analysis.Fair.fair.(i)
      in
@@ -677,7 +678,7 @@ let everywhere_eventually_refinement ?alpha ?fair ~(c : _ Explicit.t)
     | Some tables ->
         let analysis =
           Fair.analyze_csr tables ~succ:succ_c
-            ~mask:(Cr_checker.Bitset.full n)
+            ~mask:(Cr_kernel.Bitset.full n)
         in
         fun i j -> Fair.edge_on_fair_cycle analysis i j
   in
@@ -689,7 +690,7 @@ let everywhere_eventually_refinement ?alpha ?fair ~(c : _ Explicit.t)
       in
       iter_classified classified (fun i j cls ->
           let is_exact = match cls with Some Exact -> true | _ -> false in
-          if Cr_checker.Bitset.get reach i && not is_exact then
+          if Cr_kernel.Bitset.get reach i && not is_exact then
             failures := Init_edge_not_exact (i, j) :: !failures
           else
             match cls with
@@ -708,7 +709,7 @@ let everywhere_eventually_refinement ?alpha ?fair ~(c : _ Explicit.t)
        | Some tables ->
            let analysis =
              Fair.analyze_csr tables ~succ:stutter_adj
-               ~mask:(Cr_checker.Bitset.full n)
+               ~mask:(Cr_kernel.Bitset.full n)
            in
            fun i -> analysis.Fair.fair.(i)
      in

@@ -15,7 +15,7 @@
     the relation, both systems' exact structure, the abstraction and the
     fairness tables — disable with [CR_CHECK_CACHE=0], audit with
     [CR_CHECK_PARANOID=1].  The classification sweep is domain-chunked
-    under [CR_JOBS] ({!Cr_semantics.Par}) with job-count-independent
+    under [CR_JOBS] ({!Cr_kernel.Par}) with job-count-independent
     results. *)
 
 type edge_class =

@@ -1,4 +1,5 @@
 open Cr_semantics
+module Par = Cr_kernel.Par
 
 (* Stabilization checker (exact for finite systems).
 
@@ -59,13 +60,13 @@ let pp_report fmt r =
       | None, None -> "no witness?")
 
 (* Find one cycle inside the masked region, as a witness. *)
-let find_cycle_within (succ : Cr_checker.Csr.t) (mask : Cr_checker.Bitset.t) =
-  let n = Cr_checker.Csr.num_states succ in
-  let restricted = Cr_checker.Csr.restrict succ mask in
+let find_cycle_within (succ : Cr_kernel.Csr.t) (mask : Cr_kernel.Bitset.t) =
+  let n = Cr_kernel.Csr.num_states succ in
+  let restricted = Cr_kernel.Csr.restrict succ mask in
   let scc = Cr_checker.Scc.compute_csr restricted in
   let witness = ref None in
   for i = n - 1 downto 0 do
-    if Cr_checker.Bitset.get mask i && Cr_checker.Scc.on_cycle scc i then
+    if Cr_kernel.Bitset.get mask i && Cr_checker.Scc.on_cycle scc i then
       witness := Some i
   done;
   match !witness with
@@ -73,17 +74,17 @@ let find_cycle_within (succ : Cr_checker.Csr.t) (mask : Cr_checker.Bitset.t) =
   | Some i ->
       (* walk within the SCC back to i *)
       let comp = scc.Cr_checker.Scc.component.(i) in
-      let in_comp = Cr_checker.Bitset.create n in
+      let in_comp = Cr_kernel.Bitset.create n in
       for j = 0 to n - 1 do
         if
-          Cr_checker.Bitset.get mask j
+          Cr_kernel.Bitset.get mask j
           && scc.Cr_checker.Scc.component.(j) = comp
-        then Cr_checker.Bitset.set in_comp j
+        then Cr_kernel.Bitset.set in_comp j
       done;
-      let comp_succ = Cr_checker.Csr.restrict restricted in_comp in
+      let comp_succ = Cr_kernel.Csr.restrict restricted in_comp in
       let next =
-        if Cr_checker.Csr.degree comp_succ i > 0 then
-          Some (Cr_checker.Csr.kth comp_succ i 0)
+        if Cr_kernel.Csr.degree comp_succ i > 0 then
+          Some (Cr_kernel.Csr.kth comp_succ i 0)
         else None
       in
       (match next with
@@ -136,9 +137,9 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
     let legit = Cr_checker.Reach.reachable_from_initial a in
     let n = Explicit.num_states c in
     let succ_c = Explicit.csr c in
-    let rp = Cr_checker.Csr.row_ptr succ_c
-    and tg = Cr_checker.Csr.targets succ_c in
-    let bad_seed = Cr_checker.Bitset.create n in
+    let rp = Cr_kernel.Csr.row_ptr succ_c
+    and tg = Cr_kernel.Csr.targets succ_c in
+    let bad_seed = Cr_kernel.Bitset.create n in
     Cr_obs.Obs.span "stabilize.bad_seeds" (fun () ->
         (* Row range [lo, hi): marks only its own sources.  Chunk
            boundaries are word-aligned (multiples of 64), so parallel
@@ -153,14 +154,14 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
               while (not !bad) && !k < khi do
                 let aj = alpha.(tg.(!k)) in
                 let fine =
-                  Cr_checker.Bitset.get legit ai
-                  && Cr_checker.Bitset.get legit aj
+                  Cr_kernel.Bitset.get legit ai
+                  && Cr_kernel.Bitset.get legit aj
                   && (Explicit.has_edge a ai aj || (stutter_ok && ai = aj))
                 in
                 if not fine then bad := true;
                 incr k
               done;
-              if !bad then Cr_checker.Bitset.set bad_seed i
+              if !bad then Cr_kernel.Bitset.set bad_seed i
             end
           done
         in
@@ -196,12 +197,12 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
            end);
        let sscc =
          Cr_checker.Scc.compute_csr
-           (Cr_checker.Csr.unsafe_of_raw ~row_ptr:srow_ptr ~targets:stargets)
+           (Cr_kernel.Csr.unsafe_of_raw ~row_ptr:srow_ptr ~targets:stargets)
        in
        for i = 0 to n - 1 do
          if Cr_checker.Scc.on_cycle sscc i
             && not (Explicit.is_terminal a alpha.(i))
-         then Cr_checker.Bitset.set bad_seed i
+         then Cr_kernel.Bitset.set bad_seed i
        done
      end);
     let bad_terminal = ref None in
@@ -209,13 +210,13 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
       if Explicit.is_terminal c i then
         let ai = alpha.(i) in
         if
-          not (Cr_checker.Bitset.get legit ai && Explicit.is_terminal a ai)
+          not (Cr_kernel.Bitset.get legit ai && Explicit.is_terminal a ai)
         then begin
-          Cr_checker.Bitset.set bad_seed i;
+          Cr_kernel.Bitset.set bad_seed i;
           if !bad_terminal = None then bad_terminal := Some i
         end
     done;
-    let seeds = Cr_checker.Bitset.members bad_seed in
+    let seeds = Cr_kernel.Bitset.members bad_seed in
     if Cr_obs.Obs.tracking () then begin
       Cr_obs.Obs.incr c_runs;
       Cr_obs.Obs.add c_bad_seeds (List.length seeds)
@@ -224,7 +225,7 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
       Cr_obs.Obs.span "stabilize.reach_bad" (fun () ->
           Cr_checker.Reach.backward_of_explicit c ~seeds)
     in
-    let good = Cr_checker.Bitset.complement reaches_bad in
+    let good = Cr_kernel.Bitset.complement reaches_bad in
     (* A C-terminal outside Good is itself a bad seed; find one if any. *)
     let terminal_outside =
       match !bad_terminal with
@@ -232,7 +233,7 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
       | None ->
           let w = ref None in
           for i = n - 1 downto 0 do
-            if Cr_checker.Bitset.get reaches_bad i && Explicit.is_terminal c i
+            if Cr_kernel.Bitset.get reaches_bad i && Explicit.is_terminal c i
             then w := Some i
           done;
           !w
@@ -279,13 +280,13 @@ let stabilizing_to ?alpha ?fair ?(stutter = `Forbid) ~(c : _ Explicit.t)
       holds;
       concrete = Explicit.name c;
       abstract = Explicit.name a;
-      legitimate = Cr_checker.Bitset.count legit;
-      good = Cr_checker.Bitset.count good;
+      legitimate = Cr_kernel.Bitset.count legit;
+      good = Cr_kernel.Bitset.count good;
       states = n;
       worst_case_recovery = worst;
       bad_cycle = cycle;
       bad_terminal = terminal_outside;
-      good_mask = Cr_checker.Bitset.to_bool_array good;
+      good_mask = Cr_kernel.Bitset.to_bool_array good;
       cost =
         Option.map
           (fun (before, gc_before) ->

@@ -95,7 +95,7 @@ let rw_experiment n =
   let reach = Cr_checker.Reach.reachable_from_initial e in
   let init_ok = ref true in
   Cr_semantics.Explicit.iter_edges e (fun i j ->
-      if Cr_checker.Bitset.get reach i then begin
+      if Cr_kernel.Bitset.get reach i then begin
         let ai = ac.(i) and aj = ac.(j) in
         if not (ai = aj || Cr_semantics.Explicit.has_edge d3 ai aj) then
           init_ok := false
@@ -106,7 +106,7 @@ let rw_experiment n =
       let s = Cr_semantics.Explicit.state e i in
       if Btr.token_count n (Rw_atomicity.to_tokens n s) <> 1 then
         tokens_ok := false)
-    (Cr_checker.Bitset.members reach);
+    (Cr_kernel.Bitset.members reach);
   {
     n;
     states = Cr_semantics.Explicit.num_states e;

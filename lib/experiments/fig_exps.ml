@@ -6,21 +6,28 @@ open Cr_semantics
 let states = [ 0; 1; 2; 3; 9 ]
 (* 9 plays s* *)
 
-let fig1_a =
-  Explicit.of_system
-    (System.make ~name:"Fig1-A" ~states
-       ~step:(function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 3 ] | 9 -> [ 2 ] | _ -> [])
-       ~is_initial:(fun s -> s = 0)
-       ~pp:(fun fmt s -> if s = 9 then Fmt.pf fmt "s*" else Fmt.pf fmt "s%d" s)
-       ())
+(* Lazy: compiling at module init would emit telemetry (and open the
+   journal) during program startup, before CLI overrides apply. *)
+let lazy_fig1_a =
+  lazy
+    (Explicit.of_system
+       (System.make ~name:"Fig1-A" ~states
+          ~step:(function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 3 ] | 9 -> [ 2 ] | _ -> [])
+          ~is_initial:(fun s -> s = 0)
+          ~pp:(fun fmt s -> if s = 9 then Fmt.pf fmt "s*" else Fmt.pf fmt "s%d" s)
+          ()))
 
-let fig1_c =
-  Explicit.of_system
-    (System.make ~name:"Fig1-C" ~states
-       ~step:(function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 3 ] | _ -> [])
-       ~is_initial:(fun s -> s = 0)
-       ~pp:(fun fmt s -> if s = 9 then Fmt.pf fmt "s*" else Fmt.pf fmt "s%d" s)
-       ())
+let lazy_fig1_c =
+  lazy
+    (Explicit.of_system
+       (System.make ~name:"Fig1-C" ~states
+          ~step:(function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 3 ] | _ -> [])
+          ~is_initial:(fun s -> s = 0)
+          ~pp:(fun fmt s -> if s = 9 then Fmt.pf fmt "s*" else Fmt.pf fmt "s%d" s)
+          ()))
+
+let fig1_a () = Lazy.force lazy_fig1_a
+let fig1_c () = Lazy.force lazy_fig1_c
 
 type verdicts = {
   c_refines_a_init : bool;  (* true *)
@@ -30,6 +37,7 @@ type verdicts = {
 }
 
 let run () =
+  let fig1_a = fig1_a () and fig1_c = fig1_c () in
   {
     c_refines_a_init =
       (Cr_core.Refine.init_refinement ~c:fig1_c ~a:fig1_a ()).Cr_core.Refine.holds;

@@ -1,8 +1,11 @@
 (** E1: the paper's Figure 1 counterexample — refinement with respect to
     initial states alone does not preserve stabilization. *)
 
-val fig1_a : int Cr_semantics.Explicit.t
-val fig1_c : int Cr_semantics.Explicit.t
+val fig1_a : unit -> int Cr_semantics.Explicit.t
+val fig1_c : unit -> int Cr_semantics.Explicit.t
+(** Compiled on first use (not at module init): an eager compile here
+    would open the telemetry journal during program startup, before the
+    CLI has had a chance to apply overrides like [--space]. *)
 
 type verdicts = {
   c_refines_a_init : bool;

@@ -38,7 +38,7 @@ let vm_experiment () =
   let reach = Cr_checker.Reach.reachable_from_initial machine in
   let refines_init = ref true in
   Explicit.iter_edges machine (fun i j ->
-      if Cr_checker.Bitset.get reach i
+      if Cr_kernel.Bitset.get reach i
          && not (alpha_src.(i) = alpha_src.(j) && alpha_src.(i) = Explicit.find source 0)
       then refines_init := false);
   {

@@ -158,6 +158,19 @@ let names () = List.map (fun e -> e.name) entries
    pays for one compile. *)
 let explicit e n = Program.to_explicit (e.program n)
 
+(* Init-anchored compile of an entry: the reachable-fragment (sparse)
+   engine unless CR_SPACE forces one.  Everything the refinement
+   checkers quantify over lives in the fragment reachable from the
+   initial states, so refine verdicts computed here agree with the
+   dense engine restricted to that fragment — and the concrete systems'
+   legitimate orbits are a vanishing fraction of their product spaces,
+   which is what lets refine run at ring sizes the dense compile cannot
+   materialize. *)
+let init_explicit e n =
+  Program.to_explicit
+    ~space:(Cr_semantics.Space.resolve ~default:Cr_semantics.Space.Sparse ())
+    (e.program n)
+
 let spec_explicit e n = Program.to_explicit (e.spec n)
 
 (* Verdict routing.  Every driver (crcheck, the report tables, tests)
@@ -175,7 +188,7 @@ let stabilization ?fair e n =
   Cr_core.Stabilize.stabilizing_to ~alpha ?fair ~c:ep ~a:spec ()
 
 let refinements e n =
-  let ep = explicit e n and spec = spec_explicit e n in
+  let ep = init_explicit e n and spec = spec_explicit e n in
   let alpha = Cr_semantics.Abstraction.tabulate (e.alpha n) ep spec in
   [
     ("init", Cr_core.Refine.init_refinement ~alpha ~c:ep ~a:spec ());

@@ -24,8 +24,17 @@ val explicit : entry -> int -> Layout.state Cr_semantics.Explicit.t
 (** The entry's program at ring size [n], compiled through
     {!Program.to_explicit} (and thus the process-wide compile cache). *)
 
+val init_explicit : entry -> int -> Layout.state Cr_semantics.Explicit.t
+(** The entry's program compiled through the init-anchored (sparse,
+    reachable-only) engine — {!Cr_semantics.Space.resolve} with default
+    [Sparse], so [CR_SPACE] can force either engine.  This is what
+    {!refinements} checks against: per DESIGN.md section 2 the
+    refinement premise only quantifies over the fragment reachable from
+    the initial states, which the sparse engine materializes exactly. *)
+
 val spec_explicit : entry -> int -> Layout.state Cr_semantics.Explicit.t
-(** Same for the entry's specification. *)
+(** Same for the entry's specification (always dense: the abstract
+    specs are small and their graphs are shared full-space). *)
 
 val alpha_table : entry -> int -> int array
 (** The entry's abstraction tabulated between program and spec at ring
@@ -39,4 +48,8 @@ val stabilization :
 
 val refinements : entry -> int -> (string * Cr_core.Refine.report) list
 (** The four refinement relations ("init" / "everywhere" / "convergence"
-    / "ee") for the entry at ring size [n], through the same cache. *)
+    / "ee") for the entry at ring size [n], through the same cache.
+    The concrete system is compiled with {!init_explicit}, so under the
+    default (sparse) engine the relations quantify over the
+    init-reachable fragment — the graybox premise of DESIGN.md
+    section 2.  [CR_SPACE=dense] restores full-space quantification. *)

@@ -10,7 +10,7 @@ let yn b = if b then "yes" else "NO"
 (* Per-N rows of one table are independent, so they are computed with the
    CR_JOBS fan-out and printed afterwards in sweep order; the output never
    depends on the job count. *)
-let par_rows = Cr_checker.Par.map
+let par_rows = Cr_kernel.Par.map
 
 (* ---------- experiment tables ---------- *)
 

@@ -13,7 +13,7 @@ open Cr_semantics
 open Cr_guarded
 open Cr_tokenring
 
-let explicit = Program.to_explicit
+let explicit ?priority_of p = Program.to_explicit ?priority_of p
 
 type wrapped_verdicts = {
   n : int;

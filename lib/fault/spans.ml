@@ -14,9 +14,9 @@ open Cr_guarded
 
 (* minimal number of faults needed to reach each state from the sources;
    -1 when unreachable. *)
-let min_faults ~(succ : Cr_checker.Csr.t) ~(fault_succ : int array array)
+let min_faults ~(succ : Cr_kernel.Csr.t) ~(fault_succ : int array array)
     ~(sources : int list) : int array =
-  let n = Cr_checker.Csr.num_states succ in
+  let n = Cr_kernel.Csr.num_states succ in
   let dist = Array.make n (-1) in
   let dq = Queue.create () and dq1 = Queue.create () in
   (* layered BFS: process all 0-cost closure of the current layer, then
@@ -34,7 +34,7 @@ let min_faults ~(succ : Cr_checker.Csr.t) ~(fault_succ : int array array)
     (* 0-cost closure at the current fault count *)
     while not (Queue.is_empty dq) do
       let i = Queue.pop dq in
-      Cr_checker.Csr.iter_row succ i (fun j ->
+      Cr_kernel.Csr.iter_row succ i (fun j ->
           if dist.(j) = -1 then begin
             dist.(j) <- !layer;
             Queue.push j dq
@@ -91,7 +91,7 @@ let analyze ?(max_k = 8) (p : Program.t)
     List.filteri (fun i _ -> good.(i)) (List.init n (fun i -> i))
   in
   let dist = min_faults ~succ ~fault_succ ~sources in
-  let not_good = Cr_checker.Bitset.of_bool_array (Array.map not good) in
+  let not_good = Cr_kernel.Bitset.of_bool_array (Array.map not good) in
   let depth = Cr_checker.Paths.longest_within_csr ~succ ~mask:not_good in
   let expected =
     Cr_checker.Hitting.expected_csr ~succ

@@ -5,7 +5,7 @@
 open Cr_guarded
 
 val min_faults :
-  succ:Cr_checker.Csr.t ->
+  succ:Cr_kernel.Csr.t ->
   fault_succ:int array array ->
   sources:int list ->
   int array

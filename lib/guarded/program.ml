@@ -1,6 +1,8 @@
 (* A guarded-command program over a layout: the uniform substrate for
    every system in the paper (rings, wrappers and their compositions). *)
 
+module Space = Cr_semantics.Space
+
 type state = Layout.state
 
 type t = {
@@ -8,16 +10,22 @@ type t = {
   layout : Layout.t;
   actions : Action.t list;
   initial : state -> bool;
+  (* Enumerator of the complete initial-state set, when one is known
+     without scanning Sigma (set by [with_initial_closure]).  The sparse
+     compile engine seeds its BFS from it; [None] falls back to a
+     full-space predicate scan. *)
+  init_enum : (unit -> state list) option;
 }
 
-let make ~name ~layout ~actions ~initial = { name; layout; actions; initial }
+let make ~name ~layout ~actions ~initial =
+  { name; layout; actions; initial; init_enum = None }
 
 let name t = t.name
 let layout t = t.layout
 let actions t = t.actions
 let initial t = t.initial
 let rename n t = { t with name = n }
-let with_initial initial t = { t with initial }
+let with_initial initial t = { t with initial; init_enum = None }
 let with_actions actions t = { t with actions }
 
 (* Distinct owning processes (>= 0) of the program's actions, sorted.
@@ -260,16 +268,147 @@ let row_builder ~mode t state_of =
       priority_rows ~name layout (Array.of_list t.actions) bits state_of
   | Sync -> sync_rows ~name layout t state_of
 
+(* Telemetry satellite of the two-engine compile path: which engine
+   built the graph and how much of the product space it materialized.
+   Emitted by both engines, between the cache's compile.start/finish
+   pair on a miss. *)
+let emit_space ~name ~engine ~states ~full =
+  Cr_obs.Journal.emit "compile.space"
+    [
+      ("name", Cr_obs.Journal.S name);
+      ("engine", Cr_obs.Journal.S (Space.engine_name engine));
+      ("states", Cr_obs.Journal.I states);
+      ("full", Cr_obs.Journal.I full);
+      ( "ratio",
+        Cr_obs.Journal.F
+          (if full = 0 then 1.0 else float_of_int states /. float_of_int full)
+      );
+    ]
+
 let compile_fresh ~mode t =
   let layout = t.layout in
   let name = mode_name ~mode t in
-  let states = Array.init (Layout.num_states layout) (Layout.unrank layout) in
+  let n = Layout.num_states layout in
+  let states = Array.init n (Layout.unrank layout) in
+  let space =
+    Space.dense ~size:n
+      ~state_of_index:(fun i -> states.(i))
+      ~index_of_state:(fun s ->
+        if Layout.valid layout s then Some (Layout.rank layout s) else None)
+      ()
+  in
   let rows = row_builder ~mode t (fun i -> states.(i)) in
-  Cr_semantics.Explicit.of_rows ~name ~states
-    ~index:(fun s ->
-      if Layout.valid layout s then Some (Layout.rank layout s) else None)
-    ~rows ~is_initial:t.initial
-    ~pp_state:(Layout.pp_state layout)
+  let e =
+    Cr_semantics.Explicit.of_space ~name ~space ~rows ~is_initial:t.initial
+      ~pp_state:(Layout.pp_state layout)
+  in
+  emit_space ~name ~engine:Space.Dense ~states:n ~full:n;
+  e
+
+(* Per-chunk successor-key iterator for the sparse engine: the same
+   guard / effect / checked-rank loop as the row builders, but emitting
+   dense ranks through a callback instead of buffering sorted rows —
+   the discovery BFS assigns its own (sparse) indices and sorts.  The
+   self-loop test is dense-rank equality, exactly as in the dense
+   rows. *)
+let step_keys ~mode t () =
+  let layout = t.layout in
+  let name = mode_name ~mode t in
+  match mode with
+  | Plain ->
+      let actions = Array.of_list t.actions in
+      fun s i emit ->
+        Array.iter
+          (fun (a : Action.t) ->
+            if a.Action.guard s then begin
+              let j = rank_checked ~name layout (a.Action.effect s) in
+              if j <> i then emit j
+            end)
+          actions
+  | Priority bits ->
+      let actions = Array.of_list t.actions in
+      let bbuf = Array.make (max 1 (Array.length actions)) 0 in
+      fun s i emit ->
+        let wk = ref 0 and bk = ref 0 in
+        Array.iteri
+          (fun ai (a : Action.t) ->
+            if a.Action.guard s then begin
+              let j = rank_checked ~name layout (a.Action.effect s) in
+              if j <> i then
+                if bits.(ai) then begin
+                  emit j;
+                  incr wk
+                end
+                else begin
+                  bbuf.(!bk) <- j;
+                  incr bk
+                end
+            end)
+          actions;
+        if !wk = 0 then
+          for k = 0 to !bk - 1 do
+            emit bbuf.(k)
+          done
+  | Sync -> (
+      fun s i emit ->
+        match synchronous_step t s with
+        | None -> ()
+        | Some s' ->
+            let j = rank_checked ~name layout s' in
+            if j <> i then emit j)
+
+(* Sorted dense ranks of the program's initial states: the BFS roots of
+   the sparse engine, and part of its cache key (a sparse graph depends
+   on where discovery starts; dense graphs are initial-independent and
+   get re-targeted on every hit instead).  Programs built by
+   [with_initial_closure] enumerate their initial set directly; anything
+   else pays one allocation-free predicate scan over Sigma. *)
+let seed_ranks t =
+  let layout = t.layout in
+  match t.init_enum with
+  | Some enum ->
+      let ranks =
+        List.rev_map
+          (fun s ->
+            let r = Layout.checked_rank layout s in
+            if r < 0 then
+              invalid_arg
+                (Printf.sprintf "%s: initial state outside Sigma" t.name)
+            else r)
+          (enum ())
+      in
+      Array.of_list (List.sort_uniq compare ranks)
+  | None ->
+      let acc = ref [] and count = ref 0 in
+      Layout.iter_states layout (fun r s ->
+          if t.initial s then begin
+            acc := r :: !acc;
+            incr count
+          end);
+      let a = Array.make (max 1 !count) 0 in
+      List.iteri (fun i r -> a.(!count - 1 - i) <- r) !acc;
+      Array.sub a 0 !count
+
+let compile_sparse ~mode t ~seed_ranks:seeds =
+  let layout = t.layout in
+  let name = mode_name ~mode t in
+  let full = Layout.num_states layout in
+  let sparse =
+    Space.discover ~full_size:full ~state_of_key:(Layout.unrank layout)
+      ~key_of_state:(Layout.checked_rank layout)
+      ~step:(step_keys ~mode t) ~seed_keys:seeds ()
+  in
+  let rows = sparse.Space.rows in
+  let e =
+    Cr_semantics.Explicit.of_space ~name ~space:sparse.Space.space
+      ~rows:(fun () -> Array.get rows)
+      ~is_initial:t.initial
+      ~pp_state:(Layout.pp_state layout)
+  in
+  emit_space ~name ~engine:Space.Sparse
+    ~states:(Cr_semantics.Explicit.num_states e)
+    ~full;
+  e
 
 (* How many states the semantic fingerprint probe samples.  Systems at
    most this big are keyed by their complete transition semantics
@@ -377,28 +516,54 @@ let compile_cache : Layout.state Cr_semantics.Compile_cache.t =
 
 let clear_compile_cache () = Cr_semantics.Compile_cache.clear compile_cache
 
-let compile ~mode t =
-  let compile = fun () -> compile_fresh ~mode t in
-  if not (Cr_semantics.Compile_cache.enabled ()) then compile ()
-  else
-    Cr_semantics.Compile_cache.find_or_compile compile_cache
-      ~key:(fingerprint ~mode t)
-      ~reinit:(fun e ->
-        Cr_semantics.Explicit.with_initials
-          (Cr_semantics.Explicit.rename (mode_name ~mode t) e)
-          t.initial)
-      ~compile
+(* Cache keys carry the engine: a dense and a sparse compile of the
+   same program must never alias (their graphs are different objects).
+   The sparse key additionally folds the seed-rank set — a sparse graph
+   depends on where its BFS starts, so programs that share a structural
+   fingerprint but differ in initial states get distinct sparse entries,
+   while dense entries keep being shared and re-targeted via [reinit]. *)
+let sparse_key ~mode t seeds =
+  let h1 = ref 0x3bf29ce484222325 and h2 = ref 0x1e3779b97f4a7c15 in
+  Array.iter
+    (fun r ->
+      h1 := (!h1 lxor r) * fnv1;
+      h2 := (!h2 lxor r) * fnv2)
+    seeds;
+  Printf.sprintf "%s|space:sparse:%d:%x.%x" (fingerprint ~mode t)
+    (Array.length seeds) !h1 !h2
 
-let to_explicit ?priority_of t =
+let compile ~mode ~space t =
+  let reinit e =
+    Cr_semantics.Explicit.with_initials
+      (Cr_semantics.Explicit.rename (mode_name ~mode t) e)
+      t.initial
+  in
+  match (space : Space.engine) with
+  | Space.Dense ->
+      let compile = fun () -> compile_fresh ~mode t in
+      if not (Cr_semantics.Compile_cache.enabled ()) then compile ()
+      else
+        Cr_semantics.Compile_cache.find_or_compile compile_cache
+          ~key:(fingerprint ~mode t ^ "|space:dense")
+          ~reinit ~compile
+  | Space.Sparse ->
+      let seeds = seed_ranks t in
+      let compile = fun () -> compile_sparse ~mode t ~seed_ranks:seeds in
+      if not (Cr_semantics.Compile_cache.enabled ()) then compile ()
+      else
+        Cr_semantics.Compile_cache.find_or_compile compile_cache
+          ~key:(sparse_key ~mode t seeds) ~reinit ~compile
+
+let to_explicit ?priority_of ?(space = Space.Dense) t =
   let mode =
     match priority_of with
     | None -> Plain
     | Some is_wrapper ->
         Priority (Array.of_list (List.map is_wrapper t.actions))
   in
-  compile ~mode t
+  compile ~mode ~space t
 
-let to_explicit_synchronous t = compile ~mode:Sync t
+let to_explicit_synchronous ?(space = Space.Dense) t = compile ~mode:Sync ~space t
 
 (* Reachability closure at the program level, used to define the initial
    states of concrete systems as the orbit of canonical legitimate
@@ -422,7 +587,14 @@ let reachable_from t seeds =
 
 let with_initial_closure ~seeds t =
   let closure = lazy (reachable_from t seeds) in
-  { t with initial = (fun s -> Hashtbl.mem (Lazy.force closure) s) }
+  {
+    t with
+    initial = (fun s -> Hashtbl.mem (Lazy.force closure) s);
+    init_enum =
+      Some
+        (fun () ->
+          Hashtbl.fold (fun s () acc -> s :: acc) (Lazy.force closure) []);
+  }
 
 let pp fmt t =
   Fmt.pf fmt "@[<v>program %s:@,%a@]" t.name

@@ -55,19 +55,35 @@ val to_system :
   ?priority_of:(Action.t -> bool) -> t -> state Cr_semantics.System.t
 
 val to_explicit :
-  ?priority_of:(Action.t -> bool) -> t -> state Cr_semantics.Explicit.t
-(** Compile straight to the explicit graph through the layout's
-    mixed-radix rank/unrank.  The per-state loop iterates actions
-    directly (guard, effect, rank) with no intermediate firing lists,
-    and is domain-chunked under the [CR_JOBS] contract of
-    {!Cr_checker.Par} — identical output for every job count.
+  ?priority_of:(Action.t -> bool) ->
+  ?space:Cr_semantics.Space.engine ->
+  t ->
+  state Cr_semantics.Explicit.t
+(** Compile to the explicit graph through a {!Cr_semantics.Space}
+    engine.  The default [Dense] engine enumerates the full product
+    space through the layout's mixed-radix rank/unrank; [Sparse]
+    materializes only the fragment reachable from the initial states
+    (frontier BFS hash-consing dense ranks into a compact index) —
+    sound for every init-anchored query because the fragment is closed
+    under successors, and the scaling move for refine/graybox checks
+    whose dense space will not fit.  Callers that honour the [CR_SPACE]
+    override resolve it via {!Cr_semantics.Space.resolve}; this
+    function itself never reads the environment.
+
+    Either way the per-state loop iterates actions directly (guard,
+    effect, rank) with no intermediate firing lists, and is
+    domain-chunked under the [CR_JOBS] contract of {!Cr_kernel.Par} —
+    identical output for every job count.
 
     Compiles are memoized in a process-wide
     {!Cr_semantics.Compile_cache} keyed by a content-addressed
     fingerprint (execution mode, layout, per-action metadata, and a
-    semantic successor probe over up to 256 evenly spread states); on a
-    hit the cached graph is re-targeted to this program's name and
-    initial predicate.  [CR_COMPILE_CACHE=0] disables the cache. *)
+    semantic successor probe over up to 256 evenly spread states) plus
+    an engine tag, so dense and sparse graphs can never alias; the
+    sparse key also folds the seed-rank set, since a sparse graph
+    depends on its BFS roots.  On a dense hit the cached graph is
+    re-targeted to this program's name and initial predicate.
+    [CR_COMPILE_CACHE=0] disables the cache. *)
 
 val compile_fingerprint : ?priority_of:(Action.t -> bool) -> t -> string
 (** The content-addressed cache key {!to_explicit} would use for this
@@ -86,10 +102,11 @@ val synchronous_step : t -> state -> state option
 val to_system_synchronous : t -> state Cr_semantics.System.t
 (** The (deterministic) synchronous semantics as a system. *)
 
-val to_explicit_synchronous : t -> state Cr_semantics.Explicit.t
-(** Explicit graph of the synchronous semantics; chunked and memoized
-    like {!to_explicit} (the cache key's mode tag keeps the two
-    semantics of one program distinct). *)
+val to_explicit_synchronous :
+  ?space:Cr_semantics.Space.engine -> t -> state Cr_semantics.Explicit.t
+(** Explicit graph of the synchronous semantics; chunked, memoized and
+    space-routed like {!to_explicit} (the cache key's mode tag keeps the
+    two semantics of one program distinct). *)
 
 val reachable_from : t -> state list -> (state, unit) Hashtbl.t
 (** All states reachable from the seeds under the program's transitions. *)
@@ -97,6 +114,8 @@ val reachable_from : t -> state list -> (state, unit) Hashtbl.t
 val with_initial_closure : seeds:state list -> t -> t
 (** Replace the initial states by the (lazily computed) reachability
     closure of [seeds] — the orbit of canonical legitimate
-    configurations. *)
+    configurations.  The closure doubles as the program's initial-state
+    enumerator, so the sparse engine of {!to_explicit} seeds its BFS
+    from it directly instead of scanning Sigma for the predicate. *)
 
 val pp : Format.formatter -> t -> unit

@@ -6,7 +6,8 @@
     checker kernel; {!Explicit} stores its transition relation in this
     form and hands it out as a zero-copy view.
 
-    Re-exported as [Cr_checker.Csr] for the checker-side call sites. *)
+    Lives in [Cr_kernel], shared by the semantics compiler and every
+    checker kernel. *)
 
 type t
 

@@ -26,9 +26,10 @@
    Tiny sweeps skip even the handoff: below [CR_PAR_MIN_ITEMS] items
    (default 4) the map runs sequentially on the calling domain.
 
-   This module lives in [Cr_semantics] so that the explicit-state
-   compiler can chunk its state space across domains; [Cr_checker.Par]
-   re-exports it unchanged for the historical call sites. *)
+   This module lives in [Cr_kernel], the base layer below both
+   [Cr_semantics] (whose explicit-state compiler chunks its state space
+   across domains) and [Cr_checker] (whose sweeps fan out the same
+   way). *)
 
 (* Telemetry: pool lifecycle and per-task traffic.  [par.pool.size] is a
    high-water mark; the rest are sums.  All are no-ops unless

@@ -26,8 +26,9 @@
     count in [par.task.capped].  [CR_PAR_CAP] overrides the cap (tests
     and CI use it to exercise the pool on small hosts).
 
-    Hosted in [Cr_semantics] so the explicit-state compiler can chunk
-    state spaces across domains; re-exported as [Cr_checker.Par]. *)
+    Hosted in [Cr_kernel], below both [Cr_semantics] (whose
+    explicit-state compiler chunks state spaces across domains) and
+    [Cr_checker] (whose sweep kernels fan out the same way). *)
 
 val jobs_env : unit -> int
 (** Parsed value of [CR_JOBS]; 1 when unset, the recommended domain

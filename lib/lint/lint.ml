@@ -527,7 +527,7 @@ let artifact_header ~version ~n =
     "\"version\":%d,\"tool\":\"crcheck\",\"tool_version\":\"1.0.0\",\"git_rev\":\"%s\",\"cr_jobs\":%d,\"n\":%d"
     version
     (json_escape (Cr_obs.Journal.git_rev ()))
-    (Cr_checker.Par.jobs_env ()) n
+    (Cr_kernel.Par.jobs_env ()) n
 
 let reports_to_json ~n (rs : (string * report) list) =
   Printf.sprintf "{%s,\"systems\":[%s]}"

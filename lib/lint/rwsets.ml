@@ -176,7 +176,7 @@ let of_action layout (a : Action.t) : info =
    index into exactly the sequential list. *)
 let of_program (p : Program.t) : info list =
   let layout = Program.layout p in
-  Cr_checker.Par.map (of_action layout) (Program.actions p)
+  Cr_kernel.Par.map (of_action layout) (Program.actions p)
 
 let reads info =
   List.sort_uniq compare (info.guard_reads @ info.effect_reads)

@@ -21,6 +21,9 @@
    on the first force, both compute the same deterministic transpose and
    one of the identical results wins — no lock, no [Lazy.Undefined]. *)
 
+module Csr = Cr_kernel.Csr
+module Par = Cr_kernel.Par
+
 exception Unknown_state of string
 
 (* Construction telemetry: how many explicit systems were compiled and
@@ -218,6 +221,16 @@ let of_rows ~name ~states ~index ~rows ~is_initial ~pp_state =
     { name; states; index; succ; pred = lazy_pred ();
       is_initial = is_initial_arr; initials = initials_of is_initial_arr;
       pp_state }
+
+(* Space-routed constructor: both compile engines land here.  The dense
+   engine passes its chunked row builder; the sparse engine passes the
+   rows its discovery BFS already computed.  Either way the space owns
+   the index bijection and the enumeration order. *)
+let of_space (type a) ~name ~(space : a Space.t) ~rows ~is_initial ~pp_state :
+    a t =
+  let module Sp = (val space) in
+  let states = Array.init Sp.size Sp.state_of_index in
+  of_rows ~name ~states ~index:Sp.index_of_state ~rows ~is_initial ~pp_state
 
 (* Direct indexed constructor: [state]/[index] must be mutually inverse
    bijections between [0 .. num_states - 1] and Sigma (e.g. mixed-radix

@@ -50,6 +50,19 @@ val of_indexed :
     and no duplicate scan.  Raises {!Unknown_state} if [step] escapes the
     indexed space ([index] returns [None]). *)
 
+val of_space :
+  name:string ->
+  space:'a Space.t ->
+  rows:(unit -> int -> int array) ->
+  is_initial:('a -> bool) ->
+  pp_state:(Format.formatter -> 'a -> unit) ->
+  'a t
+(** Compile over a {!Space} engine: the space supplies the enumeration
+    and the index bijection, [rows] the per-chunk successor-row builder
+    (conventions as {!of_rows}).  The dense engine passes the guarded
+    compiler's row builder; the sparse engine passes the rows its
+    discovery BFS already computed. *)
+
 val of_rows :
   name:string ->
   states:'a array ->
@@ -77,7 +90,7 @@ val successors : _ t -> int -> int array
 (** Copy of one successor row.  Hot loops should use {!csr} (zero-copy)
     or {!out_degree}/{!successor} instead. *)
 
-val csr : _ t -> Csr.t
+val csr : _ t -> Cr_kernel.Csr.t
 (** The internal transition CSR, shared without copying.  This is what
     every checker kernel consumes; treat it as read-only. *)
 
@@ -88,7 +101,7 @@ val successor : _ t -> int -> int -> int
 (** [successor t i k] is the [k]-th successor of state [i] (0-based):
     O(1), no allocation. *)
 
-val pred_csr : _ t -> Csr.t
+val pred_csr : _ t -> Cr_kernel.Csr.t
 (** The predecessor CSR (transpose of {!csr}), forced on first use and
     cached as for {!predecessors}; shared without copying. *)
 

@@ -77,7 +77,7 @@ let convergence_stats ?(samples = 200) ?(max_steps = 100_000) ~seed
     Array.init samples (fun i -> (mk_daemon (i + 1), random_state ()))
   in
   let outcomes =
-    Cr_checker.Par.map_array
+    Cr_kernel.Par.map_array
       (fun (d, start) -> steps_to ~converged d p ~start ~max_steps)
       episodes
   in

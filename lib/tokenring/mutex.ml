@@ -55,9 +55,9 @@ let check ~(privileged : Layout.state -> int -> bool) ~(num_procs : int)
      acting edge for every process (each process acts on every recurrent
      behaviour) *)
   let restricted =
-    Cr_checker.Csr.restrict
+    Cr_kernel.Csr.restrict
       (Cr_checker.Reach.of_explicit e)
-      (Cr_checker.Bitset.of_bool_array good)
+      (Cr_kernel.Bitset.of_bool_array good)
   in
   let scc = Cr_checker.Scc.compute_csr restricted in
   let members = Array.make scc.Cr_checker.Scc.count [] in
@@ -74,7 +74,7 @@ let check ~(privileged : Layout.state -> int -> bool) ~(num_procs : int)
         let actors = Array.make num_procs false in
         List.iter
           (fun i ->
-            Cr_checker.Csr.iter_row restricted i (fun j ->
+            Cr_kernel.Csr.iter_row restricted i (fun j ->
                 if scc.Cr_checker.Scc.component.(j) = c then
                   match
                     acting_process p
@@ -98,9 +98,9 @@ let i4_equal_frequency n (p : Program.t)
   ignore p;
   let num = Cr_semantics.Explicit.num_states e in
   let restricted =
-    Cr_checker.Csr.restrict
+    Cr_kernel.Csr.restrict
       (Cr_checker.Reach.of_explicit e)
-      (Cr_checker.Bitset.of_bool_array good)
+      (Cr_kernel.Bitset.of_bool_array good)
   in
   let scc = Cr_checker.Scc.compute_csr restricted in
   let members = Array.make scc.Cr_checker.Scc.count [] in
@@ -120,7 +120,7 @@ let i4_equal_frequency n (p : Program.t)
         let ups = Array.make (n + 1) 0 and dns = Array.make (n + 1) 0 in
         List.iter
           (fun i ->
-            Cr_checker.Csr.iter_row restricted i (fun j ->
+            Cr_kernel.Csr.iter_row restricted i (fun j ->
                 if scc.Cr_checker.Scc.component.(j) = c then begin
                   let before = to_tokens (Cr_semantics.Explicit.state e i) in
                   let after = to_tokens (Cr_semantics.Explicit.state e j) in

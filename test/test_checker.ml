@@ -140,7 +140,7 @@ let prop_oracle_eq_fresh_bfs =
     ~count:100 gen_graph (fun g ->
       let adj = adj_of g in
       let n = Array.length adj in
-      let o = Cr_checker.Paths.make_oracle ~succ:(Cr_checker.Csr.of_rows adj) in
+      let o = Cr_checker.Paths.make_oracle ~succ:(Cr_kernel.Csr.of_rows adj) in
       let ok = ref true in
       for src = 0 to n - 1 do
         for dst = 0 to n - 1 do
@@ -157,18 +157,18 @@ let prop_par_map_eq_seq =
     QCheck2.Gen.(pair (list_size (int_bound 40) (int_bound 1000)) (int_range 2 6))
     (fun (l, jobs) ->
       let a = Array.of_list l in
-      Cr_checker.Par.map_array ~jobs (fun x -> x * x + 1) a
+      Cr_kernel.Par.map_array ~jobs (fun x -> x * x + 1) a
       = Array.map (fun x -> x * x + 1) a)
 
 (* ---- CSR kernels agree with the legacy array-of-rows kernels ---- *)
 
-module Bs = Cr_checker.Bitset
+module Bs = Cr_kernel.Bitset
 
 let prop_csr_reach_agree =
   QCheck2.Test.make ~name:"forward/backward_csr = forward/backward" ~count:200
     gen_graph (fun g ->
       let adj = adj_of g in
-      let csr = Cr_checker.Csr.of_rows adj in
+      let csr = Cr_kernel.Csr.of_rows adj in
       let n = Array.length adj in
       let ok = ref true in
       for s = 0 to n - 1 do
@@ -185,7 +185,7 @@ let prop_csr_scc_agree =
     (fun g ->
       let adj = adj_of g in
       let t = Cr_checker.Scc.compute adj in
-      let tc = Cr_checker.Scc.compute_csr (Cr_checker.Csr.of_rows adj) in
+      let tc = Cr_checker.Scc.compute_csr (Cr_kernel.Csr.of_rows adj) in
       t.Cr_checker.Scc.component = tc.Cr_checker.Scc.component
       && t.Cr_checker.Scc.count = tc.Cr_checker.Scc.count
       && t.Cr_checker.Scc.sizes = tc.Cr_checker.Scc.sizes)
@@ -196,7 +196,7 @@ let prop_csr_paths_agree =
     QCheck2.Gen.(pair gen_graph (array_size (int_bound 12) bool))
     (fun (g, mask_bits) ->
       let adj = adj_of g in
-      let csr = Cr_checker.Csr.of_rows adj in
+      let csr = Cr_kernel.Csr.of_rows adj in
       let n = Array.length adj in
       let ok = ref true in
       for src = 0 to n - 1 do
@@ -246,7 +246,7 @@ let prop_csr_fair_agree =
       let legacy = Cr_core.Fair.analyze tables ~succ:adj ~mask in
       let csr =
         Cr_core.Fair.analyze_csr tables
-          ~succ:(Cr_checker.Csr.of_rows adj)
+          ~succ:(Cr_kernel.Csr.of_rows adj)
           ~mask:(Bs.of_bool_array mask)
       in
       legacy.Cr_core.Fair.component = csr.Cr_core.Fair.component

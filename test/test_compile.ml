@@ -7,7 +7,7 @@
 open Cr_guarded
 module E = Cr_semantics.Explicit
 module Cache = Cr_semantics.Compile_cache
-module Par = Cr_checker.Par
+module Par = Cr_kernel.Par
 module Obs = Cr_obs.Obs
 
 (* ---- random program generation (as in test_guarded_props) ---- *)

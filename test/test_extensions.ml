@@ -143,7 +143,7 @@ let test_hitting_vs_montecarlo () =
 
 let test_spans_basic () =
   (* 0-1 BFS on a tiny graph: program 1->0, fault 0->1, 1->2; sources {0} *)
-  let succ = Cr_checker.Csr.of_rows [| [||]; [| 0 |]; [||] |] in
+  let succ = Cr_kernel.Csr.of_rows [| [||]; [| 0 |]; [||] |] in
   let fault_succ = [| [| 1 |]; [| 2 |]; [||] |] in
   let d = Cr_fault.Spans.min_faults ~succ ~fault_succ ~sources:[ 0 ] in
   Alcotest.(check int) "source" 0 d.(0);

@@ -46,7 +46,7 @@ let test_adversarial_matches_checker () =
      recomputed here via longest_within) *)
   let succ = Cr_checker.Reach.of_explicit e in
   let mask =
-    Cr_checker.Bitset.of_bool_array
+    Cr_kernel.Bitset.of_bool_array
       (Array.init (Cr_semantics.Explicit.num_states e) (fun i ->
            not (one_token (Cr_semantics.Explicit.state e i))))
   in
@@ -72,7 +72,7 @@ let test_helpful_daemon_not_slower () =
   let e = Cr_guarded.Program.to_explicit p in
   let succ = Cr_checker.Reach.of_explicit e in
   let mask =
-    Cr_checker.Bitset.of_bool_array
+    Cr_kernel.Bitset.of_bool_array
       (Array.init (Cr_semantics.Explicit.num_states e) (fun i ->
            not (one_token (Cr_semantics.Explicit.state e i))))
   in

@@ -12,7 +12,7 @@ module Lint = Cr_lint.Lint
 module Rwsets = Cr_lint.Rwsets
 module Registry = Cr_experiments.Registry
 module Flow_exps = Cr_experiments.Flow_exps
-module Par = Cr_checker.Par
+module Par = Cr_kernel.Par
 
 (* lift the pool's busy-domain cap so the CR_JOBS-invariance property
    really fans out across domains on a single-core host *)

@@ -173,7 +173,7 @@ let prop_closure =
           let minimal =
             Hashtbl.fold
               (fun s () acc ->
-                acc && Cr_checker.Bitset.get reach (Cr_semantics.Explicit.find e s))
+                acc && Cr_kernel.Bitset.get reach (Cr_semantics.Explicit.find e s))
               closure true
           in
           closed && minimal)

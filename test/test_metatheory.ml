@@ -203,7 +203,7 @@ let prop_stabilization_walks =
                    legitimate *)
                 List.iteri
                   (fun k s ->
-                    if k > bound && not (Cr_checker.Bitset.get legit s) then
+                    if k > bound && not (Cr_kernel.Bitset.get legit s) then
                       ok := false)
                   w
               done

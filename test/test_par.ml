@@ -5,8 +5,8 @@
    word-parallel Bitset operations with a byte-wide boolean reference
    (including non-multiple-of-64 tails). *)
 
-module Par = Cr_semantics.Par
-module Bitset = Cr_semantics.Bitset
+module Par = Cr_kernel.Par
+module Bitset = Cr_kernel.Bitset
 
 (* The pool caps busy domains at the host's core count by default; lift
    the cap so these tests exercise real worker domains even on a

@@ -232,7 +232,7 @@ let test_btr_basics () =
     (fun i ->
       if Cr_tokenring.Btr.token_count n (Cr_semantics.Explicit.state e i) <> 1
       then ok := false)
-    (Cr_checker.Bitset.members reach);
+    (Cr_kernel.Bitset.members reach);
   check "unique token invariant closed" true !ok
 
 (* I4: in the fault-free ring the token alternates direction — each full
